@@ -1,0 +1,17 @@
+//! # analysis
+//!
+//! Analysis toolkit for the PoisonRec reproduction:
+//!
+//! * [`tsne`] — exact t-SNE for the Figure 6 item-embedding plots.
+//! * [`report`] — CSV / markdown table writers used by every
+//!   experiment binary.
+//! * [`stats`] — rank correlations (Spearman, Kendall) for comparing
+//!   measured orderings against the paper's tables.
+
+pub mod report;
+pub mod stats;
+pub mod tsne;
+
+pub use report::{write_text, Table};
+pub use stats::{fractional_ranks, kendall_tau, pearson, spearman};
+pub use tsne::{tsne_2d, TsneConfig};

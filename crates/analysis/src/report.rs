@@ -1,0 +1,149 @@
+//! Result reporting: CSV writers and aligned markdown tables for the
+//! experiment binaries. No external dependencies — experiments write
+//! plain artifacts under `results/`.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rectangular results table with named columns.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the header.
+    pub fn push<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// RFC-4180-ish CSV (quotes fields containing separators/quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, field) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if field.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&field.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(field);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.columns);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Aligned GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, field) in widths.iter_mut().zip(row) {
+                *w = (*w).max(field.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String], widths: &[usize]| {
+            out.push('|');
+            for (field, w) in row.iter().zip(widths) {
+                let _ = write!(out, " {field:<w$} |");
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.columns, &widths);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<1$}|", "", w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    /// Writes the CSV form, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Writes arbitrary text, creating parent directories.
+pub fn write_text(path: impl AsRef<Path>, content: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_basics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["1", "hello, world"]);
+        t.push(["2", "quote \" inside"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,\"hello, world\"\n2,\"quote \"\" inside\"\n");
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let mut t = Table::new(["method", "RecNum"]);
+        t.push(["PoisonRec", "6496"]);
+        t.push(["Random", "7"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{md}");
+        assert!(lines[0].contains("method"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a"]);
+        t.push(["1", "2"]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Rank statistics used to compare the reproduction's orderings with
+//! the paper's reported numbers (EXPERIMENTS.md): Spearman's ρ,
+//! Kendall's τ, and fractional ranking with tie handling.
+
+/// Fractional ranks (1-based; ties share the average rank).
+pub fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average rank of the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's rank correlation ρ (NaN-free; returns 0 for degenerate
+/// inputs such as constant vectors or length < 2).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman arity mismatch");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = fractional_ranks(a);
+    let rb = fractional_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Pearson correlation (0 for degenerate inputs).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson arity mismatch");
+    let n = a.len() as f64;
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Kendall's τ-b (handles ties in either ranking; 0 for degenerate
+/// inputs).
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "kendall arity mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_a, mut ties_b) = (0i64, 0i64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                continue;
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Index of the maximum (first on ties); `None` for empty input.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if best.is_none_or(|b| v > values[b]) {
+            best = Some(i);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_with_ties() {
+        let r = fractional_ranks(&[10.0, 20.0, 20.0, 5.0]);
+        assert_eq!(r, vec![2.0, 3.5, 3.5, 1.0]);
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_is_scale_free() {
+        let a = [1.0, 5.0, 2.0, 9.0, 3.0];
+        let b: Vec<f64> = a.iter().map(|x| x * 1000.0 + 7.0).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kendall_basics() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((kendall_tau(&a, &[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-9);
+        assert!((kendall_tau(&a, &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-9);
+        // One swap of three: tau = 1/3.
+        assert!((kendall_tau(&a, &[2.0, 1.0, 3.0]) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[3.0, 3.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_cases() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+    }
+}

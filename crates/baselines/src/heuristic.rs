@@ -1,0 +1,232 @@
+//! The four heuristic attacks (paper §IV-A):
+//!
+//! * **Random** — alternate a random original item and a random target.
+//! * **Popular** — alternate a random target and a random item from the
+//!   popular set `I_p` (top 10% by popularity).
+//! * **Middle** — at every step pick uniformly among `I_t`, `I_p`, and
+//!   `I \ I_p` (may click several targets in a row).
+//! * **PowerItem** — Seminario & Wilson's power-item attack: alternate
+//!   targets with "power items" selected by *in-degree centrality* on
+//!   the item co-visitation graph (requires the system log).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recsys::data::{Dataset, ItemId, Trajectory};
+use recsys::system::BlackBoxSystem;
+
+use crate::AttackMethod;
+
+/// Which heuristic rule to apply.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HeuristicKind {
+    Random,
+    Popular,
+    Middle,
+    PowerItem,
+}
+
+/// Popular-set size: top `k%` of items (paper example: k = 10).
+const POPULAR_PERCENT: f64 = 10.0;
+/// Number of power items PowerItem alternates over.
+const NUM_POWER_ITEMS: usize = 32;
+
+/// A heuristic trajectory generator.
+pub struct HeuristicAttack {
+    kind: HeuristicKind,
+    rng: StdRng,
+}
+
+impl HeuristicAttack {
+    pub fn new(kind: HeuristicKind, seed: u64) -> Self {
+        Self {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// In-degree centrality power items: items with the most distinct
+    /// co-visitation partners in the log.
+    fn power_items(base: &Dataset, count: usize) -> Vec<ItemId> {
+        let n = base.num_items() as usize;
+        let mut partners: Vec<std::collections::HashSet<ItemId>> =
+            vec![std::collections::HashSet::new(); n];
+        for seq in base.sequences() {
+            for pair in seq.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if a != b {
+                    partners[a as usize].insert(b);
+                    partners[b as usize].insert(a);
+                }
+            }
+        }
+        let mut items: Vec<ItemId> = (0..base.num_items()).collect();
+        items.sort_by(|&a, &b| {
+            partners[b as usize]
+                .len()
+                .cmp(&partners[a as usize].len())
+                .then(a.cmp(&b))
+        });
+        items.truncate(count.max(1));
+        items
+    }
+}
+
+impl AttackMethod for HeuristicAttack {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            HeuristicKind::Random => "Random",
+            HeuristicKind::Popular => "Popular",
+            HeuristicKind::Middle => "Middle",
+            HeuristicKind::PowerItem => "PowerItem",
+        }
+    }
+
+    fn generate(&mut self, system: &BlackBoxSystem, n: usize, t: usize) -> Vec<Trajectory> {
+        let base = system.base();
+        let info = system.public_info();
+        let targets = &info.target_items;
+        let popular = base.popular_set(POPULAR_PERCENT);
+        let popular_set: std::collections::HashSet<ItemId> = popular.iter().copied().collect();
+        let unpopular: Vec<ItemId> = (0..info.num_items)
+            .filter(|i| !popular_set.contains(i))
+            .collect();
+        let power = if self.kind == HeuristicKind::PowerItem {
+            Self::power_items(base, NUM_POWER_ITEMS)
+        } else {
+            Vec::new()
+        };
+        let rng = &mut self.rng;
+        let pick = |set: &[ItemId], rng: &mut StdRng| set[rng.gen_range(0..set.len())];
+
+        (0..n)
+            .map(|_| {
+                (0..t)
+                    .map(|step| match self.kind {
+                        HeuristicKind::Random => {
+                            if step % 2 == 0 {
+                                pick(targets, rng)
+                            } else {
+                                rng.gen_range(0..info.num_items)
+                            }
+                        }
+                        HeuristicKind::Popular => {
+                            if step % 2 == 0 {
+                                pick(targets, rng)
+                            } else {
+                                pick(&popular, rng)
+                            }
+                        }
+                        HeuristicKind::Middle => match rng.gen_range(0..3) {
+                            0 => pick(targets, rng),
+                            1 => pick(&popular, rng),
+                            _ => pick(&unpopular, rng),
+                        },
+                        HeuristicKind::PowerItem => {
+                            if step % 2 == 0 {
+                                pick(targets, rng)
+                            } else {
+                                pick(&power, rng)
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recsys::rankers::ItemPop;
+    use recsys::system::SystemConfig;
+
+    fn toy_system() -> BlackBoxSystem {
+        let histories = (0..50u32)
+            .map(|u| (0..6).map(|tt| (u + tt * 11) % 80).collect())
+            .collect();
+        let data = Dataset::from_histories("toy", histories, 80, 8);
+        BlackBoxSystem::build(
+            data,
+            Box::new(ItemPop::new()),
+            SystemConfig {
+                eval_users: 10,
+                reserve_attackers: 8,
+                ..SystemConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let system = toy_system();
+        for kind in [
+            HeuristicKind::Random,
+            HeuristicKind::Popular,
+            HeuristicKind::Middle,
+            HeuristicKind::PowerItem,
+        ] {
+            let mut attack = HeuristicAttack::new(kind, 3);
+            let poison = attack.generate(&system, 5, 12);
+            assert_eq!(poison.len(), 5);
+            assert!(poison.iter().all(|tr| tr.len() == 12), "{kind:?}");
+            assert!(poison.iter().flatten().all(|&i| i < 88), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn alternating_attacks_hit_targets_half_the_time() {
+        let system = toy_system();
+        for kind in [
+            HeuristicKind::Random,
+            HeuristicKind::Popular,
+            HeuristicKind::PowerItem,
+        ] {
+            let mut attack = HeuristicAttack::new(kind, 3);
+            let poison = attack.generate(&system, 8, 20);
+            let total: usize = poison.iter().map(Vec::len).sum();
+            let on_target = poison.iter().flatten().filter(|&&i| i >= 80).count();
+            assert_eq!(on_target * 2, total, "{kind:?} must alternate");
+        }
+    }
+
+    #[test]
+    fn popular_attack_clicks_popular_items() {
+        let system = toy_system();
+        let popular: std::collections::HashSet<_> =
+            system.base().popular_set(10.0).into_iter().collect();
+        let mut attack = HeuristicAttack::new(HeuristicKind::Popular, 3);
+        let poison = attack.generate(&system, 4, 20);
+        for traj in &poison {
+            for (step, &item) in traj.iter().enumerate() {
+                if step % 2 == 1 {
+                    assert!(
+                        popular.contains(&item),
+                        "step {step} item {item} not popular"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_items_have_high_degree() {
+        let system = toy_system();
+        let power = HeuristicAttack::power_items(system.base(), 5);
+        assert_eq!(power.len(), 5);
+        // The most-connected item must appear before a random tail item
+        // would; sanity: no duplicates.
+        let mut dedup = power.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let system = toy_system();
+        let a = HeuristicAttack::new(HeuristicKind::Middle, 9).generate(&system, 3, 10);
+        let b = HeuristicAttack::new(HeuristicKind::Middle, 9).generate(&system, 3, 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+//! # baselines
+//!
+//! The six attack methods PoisonRec is compared against (paper §IV-A):
+//! four heuristics (Random, Popular, Middle, PowerItem) and two
+//! learning-based methods (ConsLOP, AppGrad).
+//!
+//! Knowledge levels differ by design and match the paper:
+//!
+//! * Random / Popular / Middle use only crawlable item popularity.
+//! * PowerItem and ConsLOP additionally require the **system log**
+//!   (the paper includes them "to better illustrate the advantages of
+//!   PoisonRec" despite their stronger knowledge assumption).
+//! * AppGrad, like PoisonRec, queries the black-box system for RecNum
+//!   feedback.
+
+mod appgrad;
+mod conslop;
+mod heuristic;
+
+pub use appgrad::{AppGrad, AppGradConfig};
+pub use conslop::{ConsLop, ConsLopConfig};
+pub use heuristic::{HeuristicAttack, HeuristicKind};
+
+use recsys::data::Trajectory;
+use recsys::system::BlackBoxSystem;
+
+/// An attack method: given a black-box system and a budget of `n`
+/// attacker accounts with `t` clicks each, produce the fake
+/// trajectories to inject.
+pub trait AttackMethod {
+    fn name(&self) -> &'static str;
+
+    /// Builds the `n x t` poison. May query `system` (AppGrad does;
+    /// heuristics don't).
+    fn generate(&mut self, system: &BlackBoxSystem, n: usize, t: usize) -> Vec<Trajectory>;
+}
+
+/// Every baseline by paper name, for experiment drivers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    Random,
+    Popular,
+    Middle,
+    PowerItem,
+    ConsLop,
+    AppGrad,
+}
+
+impl BaselineKind {
+    pub const ALL: [BaselineKind; 6] = [
+        BaselineKind::Random,
+        BaselineKind::Popular,
+        BaselineKind::Middle,
+        BaselineKind::PowerItem,
+        BaselineKind::ConsLop,
+        BaselineKind::AppGrad,
+    ];
+
+    /// The four log-free heuristics of Table IV.
+    pub const HEURISTICS: [BaselineKind; 4] = [
+        BaselineKind::Random,
+        BaselineKind::Popular,
+        BaselineKind::Middle,
+        BaselineKind::PowerItem,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::Random => "Random",
+            BaselineKind::Popular => "Popular",
+            BaselineKind::Middle => "Middle",
+            BaselineKind::PowerItem => "PowerItem",
+            BaselineKind::ConsLop => "ConsLOP",
+            BaselineKind::AppGrad => "AppGrad",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Instantiates the method with default parameters and `seed`.
+    pub fn build(self, seed: u64) -> Box<dyn AttackMethod> {
+        match self {
+            BaselineKind::Random => Box::new(HeuristicAttack::new(HeuristicKind::Random, seed)),
+            BaselineKind::Popular => Box::new(HeuristicAttack::new(HeuristicKind::Popular, seed)),
+            BaselineKind::Middle => Box::new(HeuristicAttack::new(HeuristicKind::Middle, seed)),
+            BaselineKind::PowerItem => {
+                Box::new(HeuristicAttack::new(HeuristicKind::PowerItem, seed))
+            }
+            BaselineKind::ConsLop => Box::new(ConsLop::new(ConsLopConfig::default(), seed)),
+            BaselineKind::AppGrad => Box::new(AppGrad::new(AppGradConfig::default(), seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for BaselineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for k in BaselineKind::ALL {
+            assert_eq!(BaselineKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(BaselineKind::parse("nope"), None);
+    }
+}

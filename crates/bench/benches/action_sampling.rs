@@ -1,0 +1,56 @@
+//! E1 (micro) — action-space sampling cost, Plain vs BCBT, across item
+//! set sizes. The paper's complexity claim (§III-F): Plain is
+//! `O(|I|·|e|)` per sampled item, BCBT is `O(log|I|·|e|)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poisonrec::{ActionSpace, ActionSpaceKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Matrix;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("action_sampling");
+    let dim = 32;
+    for &n in &[3_000u32, 10_000, 30_000] {
+        let popularity: Vec<u32> = (0..n).map(|i| n - i).collect();
+        for kind in [ActionSpaceKind::Plain, ActionSpaceKind::BcbtPopular] {
+            let space = ActionSpace::build(kind, n, 8, &popularity, 7);
+            let mut rng = StdRng::seed_from_u64(1);
+            let emb = Matrix::uniform(space.table_rows(), dim, 0.1, &mut rng);
+            let d: Vec<f32> = (0..dim).map(|_| rng.gen_range(-0.1..0.1)).collect();
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let (item, trail) = space.sample(&d, &emb, &mut rng);
+                    criterion::black_box((item, trail.len()))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bcbt_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcbt_build");
+    for &n in &[3_000u32, 30_000] {
+        let popularity: Vec<u32> = (0..n).map(|i| n - i).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                criterion::black_box(ActionSpace::build(
+                    ActionSpaceKind::BcbtPopular,
+                    n,
+                    8,
+                    &popularity,
+                    7,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sampling, bench_bcbt_build
+}
+criterion_main!(benches);

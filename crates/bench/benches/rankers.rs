@@ -1,0 +1,41 @@
+//! Per-ranker cost of one black-box poison observation (a warm
+//! fine-tune followed by a RecNum evaluation) — the inner-loop
+//! operation Algorithm 1 pays `M` times per step. Small Steam twin.
+
+use bench::ExpArgs;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::PaperDataset;
+use recsys::data::Trajectory;
+use recsys::rankers::RankerKind;
+
+fn bench_observation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inject_and_observe");
+    group.sample_size(10);
+    let args = ExpArgs {
+        scale: 0.05,
+        eval_users: 64,
+        ..ExpArgs::default()
+    };
+    for ranker in RankerKind::ALL {
+        let system = args.build_system(PaperDataset::Steam, ranker);
+        let targets = system.public_info().target_items;
+        let poison: Vec<Trajectory> = (0..8usize)
+            .map(|a| (0..10).map(|t| targets[(a + t) % targets.len()]).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ranker.name()),
+            &ranker,
+            |b, _| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    criterion::black_box(system.inject_and_observe_seeded(&poison, seed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observation);
+criterion_main!(benches);

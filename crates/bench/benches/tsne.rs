@@ -1,0 +1,27 @@
+//! Microbenchmark for the exact t-SNE used by the Figure 6 driver.
+
+use analysis::{tsne_2d, TsneConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_tsne(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsne");
+    group.sample_size(10);
+    let d = 16;
+    for &n in &[100usize, 300] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<f32> = (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| criterion::black_box(tsne_2d(&data, d, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tsne);
+criterion_main!(benches);

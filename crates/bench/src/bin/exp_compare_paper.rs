@@ -1,0 +1,99 @@
+//! Shape comparison against the paper: for every Table III cell, the
+//! Spearman and Kendall rank correlation between our seven methods'
+//! RecNum ordering and the paper's, plus winner agreement. This is the
+//! quantitative "does the reproduction reproduce?" check recorded in
+//! EXPERIMENTS.md.
+//!
+//! Consumes `results/table3.csv` (run `exp_table3` first); writes
+//! `results/paper_comparison.{csv,md}`.
+
+use analysis::{kendall_tau, spearman, write_text, Table};
+use bench::paper::{paper_cell, METHODS};
+use bench::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let path = args.out_dir.join("table3.csv");
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} (run exp_table3 first): {e}", path.display()));
+    let mut lines = raw.lines();
+    let header: Vec<&str> = lines.next().expect("header").split(',').collect();
+    let col = |name: &str| -> usize {
+        header
+            .iter()
+            .position(|&h| h == name)
+            .unwrap_or_else(|| panic!("missing column {name}"))
+    };
+    let method_cols: Vec<usize> = METHODS.iter().map(|m| col(m)).collect();
+    let (ds_col, rk_col) = (col("dataset"), col("ranker"));
+
+    let mut table = Table::new([
+        "dataset",
+        "ranker",
+        "spearman",
+        "kendall",
+        "our_winner",
+        "paper_winner",
+        "winners_agree",
+    ]);
+    let mut rho_sum = 0.0;
+    let mut cells = 0usize;
+    let mut winner_hits = 0usize;
+
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < header.len() {
+            continue;
+        }
+        let (dataset, ranker) = (fields[ds_col], fields[rk_col]);
+        let Some(paper) = paper_cell(dataset, ranker) else {
+            continue;
+        };
+        let ours: Vec<f64> = method_cols
+            .iter()
+            .map(|&c| fields[c].parse::<f64>().unwrap_or(0.0))
+            .collect();
+        let paper_f: Vec<f64> = paper.iter().map(|&v| f64::from(v)).collect();
+        let rho = spearman(&ours, &paper_f);
+        let tau = kendall_tau(&ours, &paper_f);
+        let our_winner = METHODS[analysis::stats::argmax(&ours).expect("7 methods")];
+        let paper_winner = METHODS[analysis::stats::argmax(&paper_f).expect("7 methods")];
+        // Degenerate all-zero cells (ItemPop/MovieLens) have no winner.
+        let degenerate = ours.iter().all(|&x| x == 0.0) || paper_f.iter().all(|&x| x == 0.0);
+        let agree = !degenerate && our_winner == paper_winner;
+        if !degenerate {
+            rho_sum += rho;
+            cells += 1;
+            winner_hits += usize::from(agree);
+        }
+        table.push([
+            dataset.to_string(),
+            ranker.to_string(),
+            format!("{rho:.3}"),
+            format!("{tau:.3}"),
+            our_winner.to_string(),
+            paper_winner.to_string(),
+            if degenerate {
+                "n/a".to_string()
+            } else {
+                agree.to_string()
+            },
+        ]);
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "mean Spearman over {cells} non-degenerate cells: {:.3}; winner agreement {}/{}",
+        rho_sum / cells.max(1) as f64,
+        winner_hits,
+        cells
+    );
+    table
+        .write_csv(args.out_dir.join("paper_comparison.csv"))
+        .expect("write csv");
+    write_text(
+        args.out_dir.join("paper_comparison.md"),
+        &table.to_markdown(),
+    )
+    .expect("write md");
+}

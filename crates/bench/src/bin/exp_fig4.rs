@@ -1,0 +1,92 @@
+//! E2 — Figure 4: attack performance (RecNum) vs training step for the
+//! four action-space designs (Plain, BPlain, BCBT-Popular, BCBT-Random)
+//! across the eight rankers, on the Steam twin.
+//!
+//! Expected shape: BCBT-Popular ≥ BPlain ≥ Plain almost everywhere;
+//! BCBT-Random below BCBT-Popular; BPlain ≈ BCBT-Popular on ItemPop and
+//! NeuMF. Regenerates `results/fig4_steam.csv` (one row per
+//! design × ranker × step) and a per-ranker summary markdown.
+
+use analysis::{write_text, Table};
+use bench::{run_parallel, ExpArgs};
+use datasets::PaperDataset;
+use poisonrec::ActionSpaceKind;
+use recsys::rankers::RankerKind;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let rankers = args.ranker_list();
+    let designs = ActionSpaceKind::ALL;
+
+    // One job per (ranker, design): builds its own system (cells are
+    // independent) and returns the training history.
+    let mut jobs: Vec<Box<dyn FnOnce() -> CellResult + Send>> = Vec::new();
+    for &ranker in &rankers {
+        for (d_idx, &design) in designs.iter().enumerate() {
+            let args = args.clone();
+            jobs.push(Box::new(move || {
+                let system = args.build_system(PaperDataset::Steam, ranker);
+                let trainer = args.train_poisonrec(&system, design, 101 + d_idx as u64);
+                CellResult {
+                    ranker,
+                    design,
+                    history: trainer
+                        .history()
+                        .iter()
+                        .map(|s| (s.step, s.mean_reward, s.max_reward))
+                        .collect(),
+                }
+            }));
+        }
+    }
+    let results = run_parallel(args.threads, jobs);
+
+    let mut table = Table::new(["ranker", "design", "step", "mean_recnum", "max_recnum"]);
+    for cell in &results {
+        for &(step, mean, max) in &cell.history {
+            table.push([
+                cell.ranker.name().to_string(),
+                cell.design.name().to_string(),
+                step.to_string(),
+                format!("{mean:.1}"),
+                format!("{max:.1}"),
+            ]);
+        }
+    }
+    table
+        .write_csv(args.out_dir.join("fig4_steam.csv"))
+        .expect("write csv");
+
+    // Final-performance summary (mean RecNum of the last quarter of
+    // training), printed like the figure's endpoint comparison.
+    let mut summary = Table::new(["ranker", "Plain", "BPlain", "BCBT-Popular", "BCBT-Random"]);
+    for &ranker in &rankers {
+        let mut row = vec![ranker.name().to_string()];
+        for &design in &designs {
+            let cell = results
+                .iter()
+                .find(|c| c.ranker == ranker && c.design == design)
+                .expect("cell present");
+            let tail = &cell.history[cell.history.len().saturating_sub(3)..];
+            let final_mean: f32 =
+                tail.iter().map(|&(_, m, _)| m).sum::<f32>() / tail.len().max(1) as f32;
+            row.push(format!("{final_mean:.1}"));
+        }
+        summary.push(row);
+        println!(
+            "{}",
+            summary.to_markdown().lines().last().unwrap_or_default()
+        );
+    }
+    write_text(args.out_dir.join("fig4_summary.md"), &summary.to_markdown()).expect("write md");
+    println!(
+        "wrote {} and fig4_summary.md",
+        args.out_dir.join("fig4_steam.csv").display()
+    );
+}
+
+struct CellResult {
+    ranker: RankerKind,
+    design: ActionSpaceKind,
+    history: Vec<(usize, f32, f32)>,
+}

@@ -1,0 +1,46 @@
+//! E3 — Figure 5: ratio of clicks on the target set `I_t` to total
+//! clicks in the strategies PoisonRec (BCBT-Popular) learns on each
+//! recommendation algorithm, on the Steam twin.
+//!
+//! Expected shape: ratio ≈ 1.0 on ItemPop and NeuMF (clicking targets
+//! only is already optimal there), > 0.2 on the rest.
+//! Regenerates `results/fig5.{csv,md}`.
+
+use analysis::{write_text, Table};
+use bench::{run_parallel, ExpArgs};
+use datasets::PaperDataset;
+use poisonrec::ActionSpaceKind;
+use recsys::rankers::RankerKind;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let rankers = args.ranker_list();
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> (RankerKind, f64) + Send>> = Vec::new();
+    for &ranker in &rankers {
+        let args = args.clone();
+        jobs.push(Box::new(move || {
+            let system = args.build_system(PaperDataset::Steam, ranker);
+            let trainer = args.train_poisonrec(&system, ActionSpaceKind::BcbtPopular, 5);
+            // Ratio of the converged policy: average the final quarter
+            // of training (early exploration would bias it to ~0.5).
+            let hist = trainer.history();
+            let tail = &hist[hist.len().saturating_sub(hist.len() / 4 + 1)..];
+            let ratio =
+                tail.iter().map(|s| s.target_click_ratio).sum::<f64>() / tail.len().max(1) as f64;
+            (ranker, ratio)
+        }));
+    }
+    let results = run_parallel(args.threads, jobs);
+
+    let mut table = Table::new(["ranker", "target_click_ratio"]);
+    for (ranker, ratio) in &results {
+        println!("{:<14} {:.3}", ranker.name(), ratio);
+        table.push([ranker.name().to_string(), format!("{ratio:.3}")]);
+    }
+    table
+        .write_csv(args.out_dir.join("fig5.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("fig5.md"), &table.to_markdown()).expect("write md");
+    println!("wrote {}", args.out_dir.join("fig5.{{csv,md}}").display());
+}

@@ -1,0 +1,106 @@
+//! E4 — Figure 6: t-SNE visualization of the learned item-id
+//! embeddings with the items clicked by PoisonRec's learned strategy
+//! circled, per recommendation algorithm, on the Steam twin.
+//!
+//! As in the paper, algorithms without their own item embeddings
+//! (ItemPop, CoVisitation, AutoRec) reuse PMF's. Items are subsampled
+//! for t-SNE speed; every clicked item and every target is always kept.
+//! Regenerates `results/fig6_<ranker>.csv` with columns
+//! `item,x,y,popularity,is_target,is_clicked`.
+
+use std::collections::HashSet;
+
+use analysis::{tsne_2d, Table, TsneConfig};
+use bench::{run_parallel, ExpArgs};
+use datasets::PaperDataset;
+use poisonrec::ActionSpaceKind;
+use recsys::data::ItemId;
+use recsys::rankers::RankerKind;
+
+/// Items fed to t-SNE (clicked + targets always included).
+const TSNE_ITEMS: usize = 600;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let rankers = args.ranker_list();
+
+    // PMF embeddings double for the embedding-less algorithms.
+    let pmf_embeddings = {
+        let system = args.build_system(PaperDataset::Steam, RankerKind::Pmf);
+        let data = PaperDataset::Steam.generate_scaled(args.scale, args.seed);
+        let view = recsys::data::LogView::clean(&data);
+        let mut ranker = RankerKind::Pmf.build(&view, 32);
+        ranker.fit(&view, args.seed);
+        drop(system);
+        ranker.item_embeddings().expect("PMF has item embeddings")
+    };
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> (RankerKind, Table) + Send>> = Vec::new();
+    for &ranker in &rankers {
+        let args = args.clone();
+        let pmf_embeddings = pmf_embeddings.clone();
+        jobs.push(Box::new(move || {
+            let system = args.build_system(PaperDataset::Steam, ranker);
+            let info = system.public_info();
+            let trainer = args.train_poisonrec(&system, ActionSpaceKind::BcbtPopular, 7);
+            let clicked: HashSet<ItemId> = trainer
+                .best_episode()
+                .map(|ep| ep.trajectories.iter().flatten().copied().collect())
+                .unwrap_or_default();
+
+            // The fitted clean ranker's embeddings; PMF's as fallback.
+            let data = PaperDataset::Steam.generate_scaled(args.scale, args.seed);
+            let view = recsys::data::LogView::clean(&data);
+            let mut fitted = ranker.build(&view, 32);
+            fitted.fit(&view, args.seed);
+            let emb = fitted.item_embeddings().unwrap_or(pmf_embeddings);
+
+            // Subsample: targets + clicked + popularity-stratified rest.
+            let catalog = info.num_items + info.target_items.len() as u32;
+            let mut keep: Vec<ItemId> = (info.num_items..catalog).collect();
+            keep.extend(clicked.iter().copied().filter(|&i| i < info.num_items));
+            let stride = (info.num_items as usize / TSNE_ITEMS.max(1)).max(1);
+            for i in (0..info.num_items).step_by(stride) {
+                keep.push(i);
+            }
+            keep.sort_unstable();
+            keep.dedup();
+
+            let d = emb.cols();
+            let mut flat = Vec::with_capacity(keep.len() * d);
+            for &i in &keep {
+                flat.extend_from_slice(emb.row_slice(i as usize));
+            }
+            let coords = tsne_2d(
+                &flat,
+                d,
+                &TsneConfig {
+                    iterations: 200,
+                    seed: args.seed,
+                    ..Default::default()
+                },
+            );
+
+            let mut table = Table::new(["item", "x", "y", "popularity", "is_target", "is_clicked"]);
+            for (&item, &(x, y)) in keep.iter().zip(&coords) {
+                table.push([
+                    item.to_string(),
+                    format!("{x:.4}"),
+                    format!("{y:.4}"),
+                    info.popularity[item as usize].to_string(),
+                    u8::from(item >= info.num_items).to_string(),
+                    u8::from(clicked.contains(&item)).to_string(),
+                ]);
+            }
+            (ranker, table)
+        }));
+    }
+
+    for (ranker, table) in run_parallel(args.threads, jobs) {
+        let path = args
+            .out_dir
+            .join(format!("fig6_{}.csv", ranker.name().to_lowercase()));
+        table.write_csv(&path).expect("write csv");
+        println!("wrote {} ({} items)", path.display(), table.num_rows());
+    }
+}

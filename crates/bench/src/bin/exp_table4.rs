@@ -1,0 +1,91 @@
+//! E6 — Table IV: among the four heuristic attacks (Random, Popular,
+//! Middle, PowerItem), how often each achieves the best RecNum, per
+//! dataset and overall. The ItemPop/MovieLens cell is excluded exactly
+//! as in the paper (all methods score 0 there).
+//!
+//! Consumes `results/table3.csv` (run `exp_table3` first) and
+//! regenerates `results/table4.{csv,md}`.
+//!
+//! Expected shape: no heuristic dominates; Popular and Middle win most
+//! often.
+
+use std::collections::HashMap;
+
+use analysis::{write_text, Table};
+use bench::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let path = args.out_dir.join("table3.csv");
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} (run exp_table3 first): {e}", path.display()));
+
+    let mut lines = raw.lines();
+    let header: Vec<&str> = lines.next().expect("header").split(',').collect();
+    let heuristics = ["Random", "Popular", "Middle", "PowerItem"];
+    let col = |name: &str| -> usize {
+        header
+            .iter()
+            .position(|&h| h == name)
+            .unwrap_or_else(|| panic!("missing column {name}"))
+    };
+    let (ds_col, rk_col) = (col("dataset"), col("ranker"));
+    let h_cols: Vec<usize> = heuristics.iter().map(|h| col(h)).collect();
+
+    // wins[dataset][heuristic] = count
+    let mut wins: HashMap<String, HashMap<&str, u32>> = HashMap::new();
+    let mut datasets_in_order: Vec<String> = Vec::new();
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < header.len() {
+            continue;
+        }
+        let dataset = fields[ds_col].to_string();
+        let ranker = fields[rk_col];
+        // Paper: ItemPop on MovieLens excluded (all zero).
+        if dataset == "MovieLens" && ranker == "ItemPop" {
+            continue;
+        }
+        if !datasets_in_order.contains(&dataset) {
+            datasets_in_order.push(dataset.clone());
+        }
+        let values: Vec<u32> = h_cols
+            .iter()
+            .map(|&c| fields[c].parse().unwrap_or(0))
+            .collect();
+        let best = *values.iter().max().expect("non-empty");
+        // Ties award every tied method, mirroring "achieves the best".
+        for (h, &v) in heuristics.iter().zip(&values) {
+            if v == best {
+                *wins
+                    .entry(dataset.clone())
+                    .or_default()
+                    .entry(h)
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut header_row = vec!["Method".to_string()];
+    header_row.extend(datasets_in_order.iter().cloned());
+    header_row.push("All".to_string());
+    let mut table = Table::new(header_row);
+    for h in heuristics {
+        let mut row = vec![h.to_string()];
+        let mut total = 0;
+        for d in &datasets_in_order {
+            let w = wins.get(d).and_then(|m| m.get(h)).copied().unwrap_or(0);
+            total += w;
+            row.push(w.to_string());
+        }
+        row.push(total.to_string());
+        table.push(row);
+    }
+
+    println!("{}", table.to_markdown());
+    table
+        .write_csv(args.out_dir.join("table4.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("table4.md"), &table.to_markdown()).expect("write md");
+    println!("wrote {}", args.out_dir.join("table4.{{csv,md}}").display());
+}

@@ -1,0 +1,92 @@
+//! E1 — §IV-B timing experiment: wall-clock time of one complete
+//! PoisonRec training step under the Plain vs BCBT action spaces as the
+//! item-set size grows (paper: 3,000 → 30,000 items; Plain 1.93 s →
+//! 15.69 s, BCBT 1.41 s → 2.33 s, i.e. >6x at 30k).
+//!
+//! The recommender is replaced by a constant-time stand-in reward
+//! (decision count) so the measurement isolates exactly what the paper
+//! measures: trajectory sampling + PPO optimization cost.
+//! Regenerates `results/timing.{csv,md}`.
+
+use std::time::Instant;
+
+use analysis::{write_text, Table};
+use bench::ExpArgs;
+use poisonrec::{ActionSpace, ActionSpaceKind, PolicyConfig, PolicyNetwork, PpoConfig, PpoUpdater};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn step_time(kind: ActionSpaceKind, num_items: u32, args: &ExpArgs, episodes: usize) -> f64 {
+    let popularity: Vec<u32> = (0..num_items).map(|i| num_items - i).collect();
+    let space = ActionSpace::build(kind, num_items, 8, &popularity, args.seed);
+    let policy_cfg = PolicyConfig {
+        dim: args.dim,
+        num_attackers: args.attackers,
+        trajectory_len: args.trajectory,
+        init_scale: 0.1,
+    };
+    let mut policy = PolicyNetwork::new(policy_cfg, &space, args.seed);
+    let ppo_cfg = PpoConfig {
+        samples_per_step: episodes,
+        batch: episodes,
+        ..PpoConfig::default()
+    };
+    let mut updater = PpoUpdater::new(ppo_cfg, &policy);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+
+    // One warm-up episode to touch all the code paths.
+    let _ = policy.sample_episode(&space, &mut rng);
+
+    let start = Instant::now();
+    // Sample M episodes with a stand-in reward, then K PPO epochs —
+    // one full Algorithm 1 step minus the recommender.
+    let mut episodes_v = Vec::with_capacity(episodes);
+    for _ in 0..episodes {
+        let mut ep = policy.sample_episode(&space, &mut rng);
+        // Stand-in reward must *vary* across episodes, or normalization
+        // zeroes every advantage and PPO would skip its real work.
+        ep.reward = (ep
+            .trajectories
+            .iter()
+            .flatten()
+            .map(|&i| u64::from(i))
+            .sum::<u64>()
+            % 1009) as f32;
+        episodes_v.push(ep);
+    }
+    for _ in 0..ppo_cfg.epochs {
+        let rewards: Vec<f32> = episodes_v.iter().map(|e| e.reward).collect();
+        let advs = poisonrec::normalize_rewards(&rewards);
+        let refs: Vec<&poisonrec::Episode> = episodes_v.iter().collect();
+        updater.update_batch(&mut policy, &refs, &advs);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let sizes = [3_000u32, 10_000, 30_000];
+    let episodes = args.episodes.min(8); // timing needs few episodes
+
+    let mut table = Table::new(["items", "Plain (s)", "BCBT (s)", "speedup"]);
+    println!("one full training step (sample {episodes} episodes + PPO), stand-in reward");
+    for &n in &sizes {
+        let plain = step_time(ActionSpaceKind::Plain, n, &args, episodes);
+        let bcbt = step_time(ActionSpaceKind::BcbtPopular, n, &args, episodes);
+        println!(
+            "|I| = {n:>6}: Plain {plain:>7.3} s   BCBT {bcbt:>7.3} s   speedup {:.1}x",
+            plain / bcbt
+        );
+        table.push([
+            n.to_string(),
+            format!("{plain:.3}"),
+            format!("{bcbt:.3}"),
+            format!("{:.2}", plain / bcbt),
+        ]);
+    }
+    table
+        .write_csv(args.out_dir.join("timing.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("timing.md"), &table.to_markdown()).expect("write md");
+    println!("wrote {}", args.out_dir.join("timing.{{csv,md}}").display());
+}

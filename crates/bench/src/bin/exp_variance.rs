@@ -1,0 +1,54 @@
+//! Reward-noise study: the RL agent's reward is RecNum after a
+//! stochastic warm retrain, so the same trajectory set yields different
+//! rewards across observations. This bin quantifies that noise per
+//! ranker (mean ± std over repeated observations of one fixed poison),
+//! which explains why Eq. 8's batch normalization matters and how many
+//! episodes per step are needed.
+//!
+//! Writes `results/variance.{csv,md}`.
+
+use analysis::{write_text, Table};
+use baselines::BaselineKind;
+use bench::ExpArgs;
+use datasets::PaperDataset;
+
+use tensor::util::{mean, std_dev};
+
+const REPS: u64 = 8;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut table = Table::new(["ranker", "mean_recnum", "std", "coeff_of_variation"]);
+    for ranker in args.ranker_list() {
+        let system = args.build_system(PaperDataset::Steam, ranker);
+        // A fixed mid-strength attack: the Popular heuristic.
+        let mut attack = BaselineKind::Popular.build(args.seed);
+        let poison = attack.generate(&system, args.attackers, args.trajectory);
+        let samples: Vec<f32> = (0..REPS)
+            .map(|rep| system.inject_and_observe_seeded(&poison, 500 + rep) as f32)
+            .collect();
+        let (mu, sigma) = (mean(&samples), std_dev(&samples));
+        let cv = if mu > 0.0 { sigma / mu } else { 0.0 };
+        println!(
+            "{:<14} mean {:>8.1}  std {:>7.2}  cv {:.2}",
+            ranker.name(),
+            mu,
+            sigma,
+            cv
+        );
+        table.push([
+            ranker.name().to_string(),
+            format!("{mu:.1}"),
+            format!("{sigma:.2}"),
+            format!("{cv:.3}"),
+        ]);
+    }
+    table
+        .write_csv(args.out_dir.join("variance.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("variance.md"), &table.to_markdown()).expect("write md");
+    println!(
+        "wrote {}",
+        args.out_dir.join("variance.{{csv,md}}").display()
+    );
+}

@@ -1,0 +1,273 @@
+//! # bench
+//!
+//! Experiment harness regenerating every table and figure of the paper
+//! (see DESIGN.md §3 for the experiment index). The heavy experiments
+//! live in `src/bin/exp_*.rs`; criterion microbenchmarks in `benches/`.
+//!
+//! Every binary accepts the same flag set (see [`ExpArgs`]); defaults
+//! are scaled for a laptop run, `--paper` restores paper-scale
+//! hyperparameters (slow).
+
+pub mod paper;
+
+use std::path::PathBuf;
+
+use datasets::PaperDataset;
+use poisonrec::{ActionSpaceKind, PoisonRecConfig, PoisonRecTrainer, PolicyConfig, PpoConfig};
+use recsys::rankers::RankerKind;
+use recsys::system::{BlackBoxSystem, SystemConfig};
+
+/// Shared command-line arguments for all experiment binaries.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Dataset scale factor in (0, 1].
+    pub scale: f64,
+    /// PoisonRec training steps.
+    pub steps: usize,
+    /// Episodes per training step (`M = B`).
+    pub episodes: usize,
+    /// Attackers `N`.
+    pub attackers: usize,
+    /// Trajectory length `T`.
+    pub trajectory: usize,
+    /// Policy embedding width `|e|`.
+    pub dim: usize,
+    /// Users polled per RecNum measurement.
+    pub eval_users: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV/markdown artifacts.
+    pub out_dir: PathBuf,
+    /// Restrict to these rankers (empty = all eight).
+    pub rankers: Vec<RankerKind>,
+    /// Restrict to these datasets (empty = all four).
+    pub datasets: Vec<PaperDataset>,
+    /// Worker threads for cell-parallel experiments.
+    pub threads: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            scale: 0.08,
+            steps: 40,
+            episodes: 16,
+            attackers: 20,
+            trajectory: 20,
+            dim: 32,
+            eval_users: 128,
+            seed: 17,
+            out_dir: PathBuf::from("results"),
+            rankers: Vec::new(),
+            datasets: Vec::new(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`; exits with usage on error.
+    pub fn parse() -> Self {
+        let mut args = Self::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--scale" => args.scale = take("--scale").parse().expect("scale"),
+                "--steps" => args.steps = take("--steps").parse().expect("steps"),
+                "--episodes" => args.episodes = take("--episodes").parse().expect("episodes"),
+                "--attackers" => args.attackers = take("--attackers").parse().expect("attackers"),
+                "--trajectory" => {
+                    args.trajectory = take("--trajectory").parse().expect("trajectory")
+                }
+                "--dim" => args.dim = take("--dim").parse().expect("dim"),
+                "--eval-users" => {
+                    args.eval_users = take("--eval-users").parse().expect("eval-users")
+                }
+                "--seed" => args.seed = take("--seed").parse().expect("seed"),
+                "--out" => args.out_dir = PathBuf::from(take("--out")),
+                "--threads" => args.threads = take("--threads").parse().expect("threads"),
+                "--rankers" => {
+                    args.rankers = take("--rankers")
+                        .split(',')
+                        .map(|s| {
+                            RankerKind::parse(s).unwrap_or_else(|| {
+                                eprintln!("unknown ranker {s}");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect();
+                }
+                "--datasets" => {
+                    args.datasets = take("--datasets")
+                        .split(',')
+                        .map(|s| {
+                            PaperDataset::parse(s).unwrap_or_else(|| {
+                                eprintln!("unknown dataset {s}");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect();
+                }
+                // Paper-scale hyperparameters (slow: hours, not minutes).
+                "--paper" => {
+                    args.scale = 1.0;
+                    args.steps = 60;
+                    args.episodes = 32;
+                    args.dim = 64;
+                    args.eval_users = 1000;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale F --steps N --episodes M --attackers N --trajectory T \
+                         --dim E --eval-users U --seed S --out DIR --threads K \
+                         --rankers A,B --datasets X,Y --paper"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// Rankers to evaluate (all eight unless restricted).
+    pub fn ranker_list(&self) -> Vec<RankerKind> {
+        if self.rankers.is_empty() {
+            RankerKind::ALL.to_vec()
+        } else {
+            self.rankers.clone()
+        }
+    }
+
+    /// Datasets to evaluate (all four unless restricted).
+    pub fn dataset_list(&self) -> Vec<PaperDataset> {
+        if self.datasets.is_empty() {
+            PaperDataset::ALL.to_vec()
+        } else {
+            self.datasets.clone()
+        }
+    }
+
+    /// Builds a fitted black-box system for one experiment cell.
+    pub fn build_system(&self, dataset: PaperDataset, ranker: RankerKind) -> BlackBoxSystem {
+        let data = dataset.generate_scaled(self.scale, self.seed);
+        let view = recsys::data::LogView::clean(&data);
+        let reserve = (self.attackers as u32).max(32);
+        let boxed = ranker.build(&view, reserve);
+        BlackBoxSystem::build(
+            data,
+            boxed,
+            SystemConfig {
+                eval_users: self.eval_users,
+                seed: self.seed,
+                reserve_attackers: reserve,
+                ..SystemConfig::default()
+            },
+        )
+    }
+
+    /// PoisonRec configuration for one run.
+    pub fn poisonrec_config(&self, space: ActionSpaceKind, seed_offset: u64) -> PoisonRecConfig {
+        PoisonRecConfig {
+            policy: PolicyConfig {
+                dim: self.dim,
+                num_attackers: self.attackers,
+                trajectory_len: self.trajectory,
+                init_scale: 0.1,
+            },
+            ppo: PpoConfig {
+                samples_per_step: self.episodes,
+                batch: self.episodes,
+                ..PpoConfig::default()
+            },
+            action_space: space,
+            seed: self.seed ^ seed_offset,
+        }
+    }
+
+    /// Trains PoisonRec against a system; returns the trainer (history,
+    /// best episode, policy) for the caller to mine.
+    pub fn train_poisonrec(
+        &self,
+        system: &BlackBoxSystem,
+        space: ActionSpaceKind,
+        seed_offset: u64,
+    ) -> PoisonRecTrainer {
+        let mut trainer = PoisonRecTrainer::new(self.poisonrec_config(space, seed_offset), system);
+        trainer.train(system, self.steps);
+        trainer
+    }
+}
+
+/// Runs `jobs` closures on `threads` workers, preserving output order.
+/// Each job runs independently (experiment cells build their own
+/// systems), so this is a plain scoped fan-out.
+pub fn run_parallel<T: Send>(threads: usize, jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    let n = jobs.len();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let queue = crossbeam::queue::SegQueue::new();
+    for (i, job) in jobs.into_iter().enumerate() {
+        queue.push((i, job));
+    }
+    let slots: Vec<parking_lot::Mutex<&mut Option<T>>> =
+        results.iter_mut().map(parking_lot::Mutex::new).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..threads.max(1).min(n.max(1)) {
+            s.spawn(|_| {
+                while let Some((i, job)) = queue.pop() {
+                    let value = job();
+                    **slots[i].lock() = Some(value);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_lists_cover_paper_grid() {
+        let args = ExpArgs::default();
+        assert_eq!(args.ranker_list().len(), 8);
+        assert_eq!(args.dataset_list().len(), 4);
+    }
+
+    #[test]
+    fn parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_parallel(4, jobs);
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_tiny_system_smoke() {
+        let args = ExpArgs {
+            scale: 0.02,
+            eval_users: 16,
+            ..ExpArgs::default()
+        };
+        let system = args.build_system(PaperDataset::Steam, RankerKind::ItemPop);
+        assert_eq!(system.clean_rec_num(), 0, "targets must start unexposed");
+    }
+}

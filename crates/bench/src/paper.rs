@@ -1,0 +1,127 @@
+//! The paper's published numbers, embedded for automated
+//! shape-comparison (EXPERIMENTS.md). Source: Table III of Song et al.,
+//! ICDE 2020.
+
+/// Method order of Table III rows.
+pub const METHODS: [&str; 7] = [
+    "Random",
+    "Popular",
+    "Middle",
+    "PowerItem",
+    "ConsLOP",
+    "AppGrad",
+    "PoisonRec",
+];
+
+/// Ranker order of Table III columns.
+pub const RANKERS: [&str; 8] = [
+    "ItemPop",
+    "CoVisitation",
+    "PMF",
+    "BPR",
+    "NeuMF",
+    "AutoRec",
+    "GRU4Rec",
+    "NGCF",
+];
+
+/// Dataset order of Table III blocks.
+pub const DATASETS: [&str; 4] = ["Steam", "MovieLens", "Phone", "Clothing"];
+
+/// `TABLE3[dataset][method][ranker]` = RecNum reported by the paper.
+pub const TABLE3: [[[u32; 8]; 7]; 4] = [
+    // Steam
+    [
+        [7, 278, 653, 114, 1_362, 667, 783, 2_203],   // Random
+        [6, 1_895, 541, 106, 599, 738, 1_331, 1_093], // Popular
+        [2, 530, 609, 116, 449, 643, 1_347, 798],     // Middle
+        [6, 1_794, 534, 107, 588, 661, 1_401, 852],   // PowerItem
+        [8, 4_715, 633, 121, 648, 683, 2_401, 1_699], // ConsLOP
+        [5_421, 135, 686, 122, 2_914, 1_256, 5_052, 8_094], // AppGrad
+        [6_496, 10_917, 1_211, 163, 4_994, 1_643, 24_319, 25_013], // PoisonRec
+    ],
+    // MovieLens
+    [
+        [0, 492, 2_282, 2_012, 412, 11_117, 236, 6],
+        [0, 1_420, 4_237, 1_927, 10, 10_471, 1_367, 13_015],
+        [0, 120, 2_415, 2_055, 10, 10_896, 282, 12],
+        [0, 1_136, 4_286, 1_972, 545, 10_691, 1_264, 11_230],
+        [0, 2_162, 4_246, 1_624, 2, 11_578, 714, 11_493],
+        [0, 118, 3_580, 2_044, 2_604, 12_124, 4_372, 24],
+        [0, 1_552, 7_050, 2_442, 2_742, 12_472, 18_525, 21_577],
+    ],
+    // Phone
+    [
+        [2_020, 464, 10_432, 4_282, 4_794, 2_822, 2_826, 8_784],
+        [2_409, 2_368, 9_939, 3_846, 1_290, 3_885, 2_454, 8_048],
+        [4_946, 208, 9_050, 3_565, 5_981, 2_627, 3_699, 9_552],
+        [2_358, 1_824, 10_880, 3_779, 1_978, 3_046, 944, 7_408],
+        [2_074, 6_234, 10_787, 4_099, 1_648, 4_694, 2_858, 9_136],
+        [61_792, 131, 11_238, 4_187, 26_800, 4_700, 4_072, 10_852],
+        [82_032, 5_683, 12_195, 4_530, 28_646, 4_873, 8_513, 12_324],
+    ],
+    // Clothing
+    [
+        [54_820, 413, 1_848, 2_827, 4_656, 11_270, 7_786, 7_376],
+        [53_265, 1_262, 1_704, 2_803, 2_424, 12_032, 11_827, 9_468],
+        [61_156, 125, 1_699, 3_077, 4_733, 9_768, 12_005, 5_672],
+        [57_508, 686, 1_810, 2_678, 2_525, 11_664, 7_234, 8_592],
+        [52_921, 3_312, 1_814, 2_842, 2_294, 11_981, 15_490, 7_524],
+        [180_432, 62, 3_216, 3_816, 8_808, 13_472, 13_424, 11_090],
+        [218_275, 2_239, 3_363, 4_656, 12_592, 14_245, 22_013, 14_391],
+    ],
+];
+
+/// The paper's Table III column for `(dataset, ranker)`, in
+/// [`METHODS`] order; `None` for unknown names.
+pub fn paper_cell(dataset: &str, ranker: &str) -> Option<Vec<u32>> {
+    let d = DATASETS.iter().position(|&x| x == dataset)?;
+    let r = RANKERS.iter().position(|&x| x == ranker)?;
+    Some(
+        METHODS
+            .iter()
+            .enumerate()
+            .map(|(m, _)| TABLE3[d][m][r])
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_lookup_matches_table() {
+        // Steam / CoVisitation column: Random 278 … PoisonRec 10,917.
+        let cell = paper_cell("Steam", "CoVisitation").expect("known cell");
+        assert_eq!(cell, vec![278, 1_895, 530, 1_794, 4_715, 135, 10_917]);
+        assert!(paper_cell("Steam", "Nope").is_none());
+    }
+
+    #[test]
+    fn poisonrec_wins_most_paper_cells() {
+        // Sanity on the embedded data itself: in the paper PoisonRec is
+        // the best method in the large majority of the 32 cells.
+        let mut wins = 0;
+        let mut cells = 0;
+        for d in DATASETS {
+            for r in RANKERS {
+                let cell = paper_cell(d, r).expect("cell");
+                cells += 1;
+                let best = *cell.iter().max().expect("non-empty");
+                if best > 0 && cell[6] == best {
+                    wins += 1;
+                }
+            }
+        }
+        assert_eq!(cells, 32);
+        assert!(wins >= 26, "PoisonRec wins {wins}/32 in the embedded table");
+    }
+
+    #[test]
+    fn movielens_itempop_row_is_zero() {
+        for method in 0..7 {
+            assert_eq!(TABLE3[1][method][0], 0);
+        }
+    }
+}

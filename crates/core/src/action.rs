@@ -1,0 +1,526 @@
+//! Action-space designs of the paper (§III-C, §III-E):
+//!
+//! * **Plain** — sample directly from the flat multinomial over
+//!   `I ∪ I_t` (Eq. 6). Simple, slow, and hard to train: the chance of
+//!   hitting a target item is `|I_t| / (|I| + |I_t|)`.
+//! * **BPlain** — a two-layer tree that first chooses between the
+//!   target set `I_t` and the original set `I` (the *priori knowledge*
+//!   bias), then samples flatly within the chosen set.
+//! * **BCBT** — the paper's Biased Complete Binary Tree: the root
+//!   chooses `I_t` vs `I`; below it each set is a complete binary tree
+//!   whose leaves are items, sampled root-to-leaf with binary softmax
+//!   decisions (Algorithm 2). `BCBT-Popular` orders leaves by item
+//!   popularity (Assumption 1); `BCBT-Random` shuffles them (the
+//!   ablation control).
+//!
+//! Every sampled item is described by a list of [`Choice`]s — the
+//! decisions taken — so the PPO update (Eq. 9) can recompute their
+//! log-probabilities under new parameters.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use recsys::data::ItemId;
+use tensor::util::{log_softmax, sample_categorical};
+use tensor::Matrix;
+
+/// Which rows of the action-embedding table a decision chose among.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ChoiceSet {
+    /// A binary tree decision between two embedding rows.
+    Pair(u32, u32),
+    /// A flat softmax over the contiguous rows `start..end`.
+    Range(u32, u32),
+}
+
+impl ChoiceSet {
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        match self {
+            ChoiceSet::Pair(..) => 2,
+            ChoiceSet::Range(s, e) => (e - s) as usize,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One recorded decision: where we chose, what we chose, and how likely
+/// it was under the parameters that sampled it (for the PPO ratio).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Choice {
+    pub set: ChoiceSet,
+    /// Index *within* the choice set.
+    pub chosen: u32,
+    /// `log π_θ'(a|s)` at sampling time.
+    pub old_logp: f32,
+}
+
+/// The four designs compared in §IV-B.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ActionSpaceKind {
+    Plain,
+    BPlain,
+    BcbtPopular,
+    BcbtRandom,
+}
+
+impl ActionSpaceKind {
+    pub const ALL: [ActionSpaceKind; 4] = [
+        ActionSpaceKind::Plain,
+        ActionSpaceKind::BPlain,
+        ActionSpaceKind::BcbtPopular,
+        ActionSpaceKind::BcbtRandom,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionSpaceKind::Plain => "Plain",
+            ActionSpaceKind::BPlain => "BPlain",
+            ActionSpaceKind::BcbtPopular => "BCBT-Popular",
+            ActionSpaceKind::BcbtRandom => "BCBT-Random",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+}
+
+impl std::fmt::Display for ActionSpaceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A reference inside a binary tree: an internal node (indexing the
+/// extra embedding rows) or a leaf (a real item id).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum NodeRef {
+    Internal(u32),
+    Leaf(ItemId),
+}
+
+/// A binary tree over items; internal nodes carry trainable embeddings
+/// stored after the item rows of the action-embedding table.
+#[derive(Clone, Debug)]
+pub struct ItemTree {
+    /// `children[i]` are the two children of internal node `i`.
+    children: Vec<(NodeRef, NodeRef)>,
+    root: NodeRef,
+}
+
+impl ItemTree {
+    /// Builds a complete binary tree over `leaves` in order: every
+    /// level is full except the last, which is left-aligned; adjacent
+    /// leaves share the most ancestors.
+    pub fn complete(leaves: &[ItemId]) -> Self {
+        assert!(!leaves.is_empty(), "tree needs at least one leaf");
+        let mut children = Vec::with_capacity(leaves.len().saturating_sub(1));
+        let root = build_complete(leaves, &mut children);
+        Self { children, root }
+    }
+
+    /// Merges two trees under a fresh root (the BCBT bias split).
+    /// Internal-node indices of `right` are shifted.
+    pub fn merge(left: ItemTree, right: ItemTree) -> Self {
+        let shift = left.children.len() as u32;
+        let mut children = left.children;
+        let remap = |r: NodeRef| match r {
+            NodeRef::Internal(i) => NodeRef::Internal(i + shift),
+            leaf => leaf,
+        };
+        children.extend(
+            right
+                .children
+                .into_iter()
+                .map(|(a, b)| (remap(a), remap(b))),
+        );
+        let left_root = left.root;
+        let right_root = remap(right.root);
+        children.push((left_root, right_root));
+        let root = NodeRef::Internal(children.len() as u32 - 1);
+        Self { children, root }
+    }
+
+    /// Number of internal nodes (= extra embedding rows needed).
+    pub fn num_internal(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.children.len() + 1
+    }
+
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        fn go(tree: &ItemTree, r: NodeRef) -> usize {
+            match r {
+                NodeRef::Leaf(_) => 0,
+                NodeRef::Internal(i) => {
+                    let (a, b) = tree.children[i as usize];
+                    1 + go(tree, a).max(go(tree, b))
+                }
+            }
+        }
+        go(self, self.root)
+    }
+
+    /// In-order leaf sequence (tests: must equal the input order).
+    pub fn leaves_in_order(&self) -> Vec<ItemId> {
+        let mut out = Vec::with_capacity(self.num_leaves());
+        fn go(tree: &ItemTree, r: NodeRef, out: &mut Vec<ItemId>) {
+            match r {
+                NodeRef::Leaf(item) => out.push(item),
+                NodeRef::Internal(i) => {
+                    let (a, b) = tree.children[i as usize];
+                    go(tree, a, out);
+                    go(tree, b, out);
+                }
+            }
+        }
+        go(self, self.root, &mut out);
+        out
+    }
+}
+
+/// Recursive complete-binary-tree construction. Returns the subtree
+/// root; internal nodes are appended to `children`.
+fn build_complete(leaves: &[ItemId], children: &mut Vec<(NodeRef, NodeRef)>) -> NodeRef {
+    let n = leaves.len();
+    if n == 1 {
+        return NodeRef::Leaf(leaves[0]);
+    }
+    // Height d = ceil(log2 n); x leaves sit on the deepest level,
+    // left-aligned. The left subtree takes min(x, h) deep leaves plus
+    // (h - x)/2 shallow ones, where h = 2^(d-1).
+    let d = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
+    let h = 1usize << (d - 1);
+    let x = 2 * n - (1usize << d);
+    let left_leaves = x.min(h) + h.saturating_sub(x) / 2;
+    let left = build_complete(&leaves[..left_leaves], children);
+    let right = build_complete(&leaves[left_leaves..], children);
+    children.push((left, right));
+    NodeRef::Internal(children.len() as u32 - 1)
+}
+
+/// A fully-specified action space over a catalog of
+/// `num_items + num_targets` items (targets occupy the tail ids).
+#[derive(Clone, Debug)]
+pub struct ActionSpace {
+    kind: ActionSpaceKind,
+    num_items: u32,
+    num_targets: u32,
+    /// BCBT tree (None for Plain/BPlain).
+    tree: Option<ItemTree>,
+}
+
+impl ActionSpace {
+    /// Builds the action space. `popularity` (length ≥ `num_items`)
+    /// orders BCBT-Popular leaves; `seed` shuffles BCBT-Random leaves.
+    pub fn build(
+        kind: ActionSpaceKind,
+        num_items: u32,
+        num_targets: u32,
+        popularity: &[u32],
+        seed: u64,
+    ) -> Self {
+        assert!(num_items > 0 && num_targets > 0);
+        let tree = match kind {
+            ActionSpaceKind::Plain | ActionSpaceKind::BPlain => None,
+            ActionSpaceKind::BcbtPopular | ActionSpaceKind::BcbtRandom => {
+                let mut items: Vec<ItemId> = (0..num_items).collect();
+                match kind {
+                    ActionSpaceKind::BcbtPopular => {
+                        assert!(
+                            popularity.len() >= num_items as usize,
+                            "popularity vector too short for BCBT-Popular"
+                        );
+                        items.sort_by(|&a, &b| {
+                            popularity[b as usize]
+                                .cmp(&popularity[a as usize])
+                                .then(a.cmp(&b))
+                        });
+                    }
+                    _ => {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        items.shuffle(&mut rng);
+                    }
+                }
+                let targets: Vec<ItemId> = (num_items..num_items + num_targets).collect();
+                let target_tree = ItemTree::complete(&targets);
+                let item_tree = ItemTree::complete(&items);
+                Some(ItemTree::merge(target_tree, item_tree))
+            }
+        };
+        Self {
+            kind,
+            num_items,
+            num_targets,
+            tree,
+        }
+    }
+
+    pub fn kind(&self) -> ActionSpaceKind {
+        self.kind
+    }
+
+    /// Catalog size `|I| + |I_t|`.
+    pub fn catalog(&self) -> u32 {
+        self.num_items + self.num_targets
+    }
+
+    /// Rows required in the action-embedding table: catalog items first
+    /// (row = item id), then the space's extra nodes.
+    pub fn table_rows(&self) -> usize {
+        self.catalog() as usize + self.extra_rows()
+    }
+
+    /// Extra (non-item) embedding rows.
+    pub fn extra_rows(&self) -> usize {
+        match self.kind {
+            ActionSpaceKind::Plain => 0,
+            // Two set nodes: one for I_t, one for I.
+            ActionSpaceKind::BPlain => 2,
+            ActionSpaceKind::BcbtPopular | ActionSpaceKind::BcbtRandom => {
+                self.tree.as_ref().expect("bcbt has tree").num_internal()
+            }
+        }
+    }
+
+    /// The embedding-table row of a tree node reference.
+    fn row_of(&self, r: NodeRef) -> u32 {
+        match r {
+            NodeRef::Leaf(item) => item,
+            NodeRef::Internal(i) => self.catalog() + i,
+        }
+    }
+
+    /// Samples one item given `d = D(h_t)` (a row of length `|e|`) and
+    /// the current action-embedding table. Returns the item and the
+    /// decision trail.
+    pub fn sample(&self, d: &[f32], emb: &Matrix, rng: &mut StdRng) -> (ItemId, Vec<Choice>) {
+        debug_assert_eq!(d.len(), emb.cols());
+        let dot = |row: u32| -> f32 {
+            emb.row_slice(row as usize)
+                .iter()
+                .zip(d)
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        match self.kind {
+            ActionSpaceKind::Plain => {
+                let logits: Vec<f32> = (0..self.catalog()).map(dot).collect();
+                let (idx, logp) = sample_categorical(&logits, rng);
+                let choice = Choice {
+                    set: ChoiceSet::Range(0, self.catalog()),
+                    chosen: idx as u32,
+                    old_logp: logp,
+                };
+                (idx as ItemId, vec![choice])
+            }
+            ActionSpaceKind::BPlain => {
+                // Decision 1: I_t node (row catalog) vs I node (row catalog+1).
+                let t_row = self.catalog();
+                let i_row = self.catalog() + 1;
+                let set_logits = [dot(t_row), dot(i_row)];
+                let (set_idx, set_logp) = sample_categorical(&set_logits, rng);
+                let set_choice = Choice {
+                    set: ChoiceSet::Pair(t_row, i_row),
+                    chosen: set_idx as u32,
+                    old_logp: set_logp,
+                };
+                // Decision 2: flat softmax within the chosen set.
+                let (start, end) = if set_idx == 0 {
+                    (self.num_items, self.catalog())
+                } else {
+                    (0, self.num_items)
+                };
+                let logits: Vec<f32> = (start..end).map(dot).collect();
+                let (idx, logp) = sample_categorical(&logits, rng);
+                let item_choice = Choice {
+                    set: ChoiceSet::Range(start, end),
+                    chosen: idx as u32,
+                    old_logp: logp,
+                };
+                (start + idx as u32, vec![set_choice, item_choice])
+            }
+            ActionSpaceKind::BcbtPopular | ActionSpaceKind::BcbtRandom => {
+                // Algorithm 2: walk root → leaf with binary decisions.
+                let tree = self.tree.as_ref().expect("bcbt has tree");
+                let mut choices = Vec::with_capacity(16);
+                let mut node = tree.root;
+                loop {
+                    match node {
+                        NodeRef::Leaf(item) => return (item, choices),
+                        NodeRef::Internal(i) => {
+                            let (l, r) = tree.children[i as usize];
+                            let (lr, rr) = (self.row_of(l), self.row_of(r));
+                            let logits = [dot(lr), dot(rr)];
+                            let (idx, logp) = sample_categorical(&logits, rng);
+                            choices.push(Choice {
+                                set: ChoiceSet::Pair(lr, rr),
+                                chosen: idx as u32,
+                                old_logp: logp,
+                            });
+                            node = if idx == 0 { l } else { r };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Log-probability of a recorded decision trail under the current
+    /// embedding table, computed *by value* (no gradients). The PPO
+    /// update recomputes the same quantity with gradients.
+    pub fn trail_logp(&self, d: &[f32], emb: &Matrix, trail: &[Choice]) -> f32 {
+        let dot = |row: u32| -> f32 {
+            emb.row_slice(row as usize)
+                .iter()
+                .zip(d)
+                .map(|(&a, &b)| a * b)
+                .sum()
+        };
+        trail
+            .iter()
+            .map(|c| {
+                let logits: Vec<f32> = match c.set {
+                    ChoiceSet::Pair(a, b) => vec![dot(a), dot(b)],
+                    ChoiceSet::Range(s, e) => (s..e).map(dot).collect(),
+                };
+                log_softmax(&logits)[c.chosen as usize]
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn complete_tree_shapes() {
+        for n in 1..=64usize {
+            let leaves: Vec<ItemId> = (0..n as u32).collect();
+            let tree = ItemTree::complete(&leaves);
+            assert_eq!(tree.num_leaves(), n, "n={n}");
+            assert_eq!(tree.leaves_in_order(), leaves, "order broken for n={n}");
+            let expect_depth = (n as f64).log2().ceil() as usize;
+            assert_eq!(tree.depth(), expect_depth, "depth for n={n}");
+        }
+    }
+
+    #[test]
+    fn merged_tree_keeps_both_sides() {
+        let t = ItemTree::complete(&[100, 101]);
+        let i = ItemTree::complete(&[0, 1, 2]);
+        let m = ItemTree::merge(t, i);
+        assert_eq!(m.num_leaves(), 5);
+        assert_eq!(m.leaves_in_order(), vec![100, 101, 0, 1, 2]);
+    }
+
+    fn toy_space(kind: ActionSpaceKind) -> ActionSpace {
+        let popularity: Vec<u32> = (0..20).map(|i| 100 - i).collect();
+        ActionSpace::build(kind, 20, 4, &popularity, 7)
+    }
+
+    #[test]
+    fn sampling_covers_catalog_and_logps_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in ActionSpaceKind::ALL {
+            let space = toy_space(kind);
+            let emb = Matrix::uniform(space.table_rows(), 8, 0.3, &mut rng);
+            let d: Vec<f32> = (0..8).map(|_| rng.gen_range(-0.3..0.3)).collect();
+            let mut seen_target = false;
+            let mut seen_original = false;
+            for _ in 0..300 {
+                let (item, trail) = space.sample(&d, &emb, &mut rng);
+                assert!(item < 24, "item {item} out of catalog");
+                assert!(!trail.is_empty());
+                let total: f32 = trail.iter().map(|c| c.old_logp).sum();
+                assert!(total <= 0.0 && total.is_finite());
+                // trail_logp must agree with the sampling-time logps.
+                let recomputed = space.trail_logp(&d, &emb, &trail);
+                assert!(
+                    (recomputed - total).abs() < 1e-4,
+                    "{kind}: {recomputed} vs {total}"
+                );
+                if item >= 20 {
+                    seen_target = true;
+                } else {
+                    seen_original = true;
+                }
+            }
+            assert!(seen_original, "{kind} never sampled an original item");
+            if kind != ActionSpaceKind::Plain {
+                // Biased designs hit targets roughly half the time.
+                assert!(seen_target, "{kind} never sampled a target");
+            }
+        }
+    }
+
+    #[test]
+    fn biased_designs_oversample_targets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let space = toy_space(ActionSpaceKind::BcbtPopular);
+        // Near-zero embeddings: every decision is a coin flip, so the
+        // root bias alone should put ~50% of samples on targets.
+        let emb = Matrix::zeros(space.table_rows(), 8);
+        let d = vec![0.0; 8];
+        let mut target_hits = 0;
+        for _ in 0..2000 {
+            let (item, _) = space.sample(&d, &emb, &mut rng);
+            if item >= 20 {
+                target_hits += 1;
+            }
+        }
+        let frac = target_hits as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.06, "target fraction {frac}");
+    }
+
+    #[test]
+    fn plain_rarely_samples_targets_at_init() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let space = toy_space(ActionSpaceKind::Plain);
+        let emb = Matrix::zeros(space.table_rows(), 8);
+        let d = vec![0.0; 8];
+        let mut target_hits = 0;
+        for _ in 0..2000 {
+            let (item, _) = space.sample(&d, &emb, &mut rng);
+            if item >= 20 {
+                target_hits += 1;
+            }
+        }
+        let frac = target_hits as f64 / 2000.0;
+        // Uniform over 24 items: 4/24 ≈ 0.167.
+        assert!((frac - 4.0 / 24.0).abs() < 0.05, "target fraction {frac}");
+    }
+
+    #[test]
+    fn bcbt_depth_is_logarithmic() {
+        let popularity: Vec<u32> = (0..5000).map(|i| 5000 - i).collect();
+        let space = ActionSpace::build(ActionSpaceKind::BcbtPopular, 5000, 8, &popularity, 7);
+        let tree = space.tree.as_ref().expect("tree");
+        // ceil(log2 5000) = 13, +3 for the target side, +1 root merge.
+        assert!(tree.depth() <= 14, "depth {}", tree.depth());
+        assert_eq!(tree.num_leaves(), 5008);
+    }
+
+    #[test]
+    fn bcbt_popular_orders_leaves_by_popularity() {
+        let popularity: Vec<u32> = vec![5, 50, 10, 40, 30];
+        let space = ActionSpace::build(ActionSpaceKind::BcbtPopular, 5, 2, &popularity, 7);
+        let tree = space.tree.as_ref().expect("tree");
+        let leaves = tree.leaves_in_order();
+        // Targets first (merged left), then items by descending popularity.
+        assert_eq!(leaves, vec![5, 6, 1, 3, 4, 2, 0]);
+    }
+}

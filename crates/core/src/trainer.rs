@@ -1,0 +1,251 @@
+//! Algorithm 1: the outer PoisonRec training loop.
+//!
+//! Each training step samples `M` episodes from the policy, injects
+//! every episode's trajectory set into the black-box system to observe
+//! its RecNum reward, then runs `K` PPO epochs over random batches of
+//! `B` stored examples with Eq. 8-normalized rewards.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use recsys::system::BlackBoxSystem;
+
+use crate::action::{ActionSpace, ActionSpaceKind};
+use crate::policy::{Episode, PolicyConfig, PolicyNetwork};
+use crate::ppo::{normalize_rewards, PpoConfig, PpoUpdater};
+
+/// Full PoisonRec configuration (paper defaults).
+#[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PoisonRecConfig {
+    pub policy: PolicyConfig,
+    pub ppo: PpoConfig,
+    pub action_space: ActionSpaceKind,
+    pub seed: u64,
+}
+
+impl Default for PoisonRecConfig {
+    fn default() -> Self {
+        Self {
+            policy: PolicyConfig::default(),
+            ppo: PpoConfig::default(),
+            action_space: ActionSpaceKind::BcbtPopular,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-step training telemetry (drives Figure 4).
+#[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct StepStats {
+    pub step: usize,
+    /// Mean RecNum over the step's sampled episodes.
+    pub mean_reward: f32,
+    /// Best RecNum in the step.
+    pub max_reward: f32,
+    /// Mean fraction of clicks on target items (drives Figure 5).
+    pub target_click_ratio: f64,
+    /// Mean |weight| diagnostic from the PPO epochs.
+    pub ppo_signal: f32,
+}
+
+/// The attack agent: policy + action space + PPO state + history.
+pub struct PoisonRecTrainer {
+    cfg: PoisonRecConfig,
+    space: ActionSpace,
+    policy: PolicyNetwork,
+    updater: PpoUpdater,
+    rng: StdRng,
+    history: Vec<StepStats>,
+    best: Option<Episode>,
+}
+
+impl PoisonRecTrainer {
+    /// Builds the agent against a system, using only the system's
+    /// *public* information (item counts and crawled popularity).
+    pub fn new(cfg: PoisonRecConfig, system: &BlackBoxSystem) -> Self {
+        let info = system.public_info();
+        let space = ActionSpace::build(
+            cfg.action_space,
+            info.num_items,
+            info.target_items.len() as u32,
+            &info.popularity,
+            cfg.seed,
+        );
+        let policy = PolicyNetwork::new(cfg.policy, &space, cfg.seed);
+        let updater = PpoUpdater::new(cfg.ppo, &policy);
+        Self {
+            cfg,
+            space,
+            policy,
+            updater,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xA11CE),
+            history: Vec::new(),
+            best: None,
+        }
+    }
+
+    pub fn config(&self) -> &PoisonRecConfig {
+        &self.cfg
+    }
+
+    pub fn policy(&self) -> &PolicyNetwork {
+        &self.policy
+    }
+
+    pub fn action_space(&self) -> &ActionSpace {
+        &self.space
+    }
+
+    pub fn history(&self) -> &[StepStats] {
+        &self.history
+    }
+
+    /// The highest-reward episode observed so far.
+    pub fn best_episode(&self) -> Option<&Episode> {
+        self.best.as_ref()
+    }
+
+    /// One Algorithm 1 iteration. Costs `M` system retrains.
+    pub fn step(&mut self, system: &BlackBoxSystem) -> StepStats {
+        let m = self.cfg.ppo.samples_per_step;
+        let mut episodes: Vec<Episode> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut ep = self.policy.sample_episode(&self.space, &mut self.rng);
+            ep.reward = system.inject_and_observe(&ep.trajectories) as f32;
+            if self.best.as_ref().is_none_or(|b| ep.reward > b.reward) {
+                self.best = Some(ep.clone());
+            }
+            episodes.push(ep);
+        }
+
+        let mut signal_sum = 0.0f32;
+        for _ in 0..self.cfg.ppo.epochs {
+            let mut idx: Vec<usize> = (0..episodes.len()).collect();
+            idx.shuffle(&mut self.rng);
+            idx.truncate(self.cfg.ppo.batch.min(episodes.len()));
+            let batch: Vec<&Episode> = idx.iter().map(|&i| &episodes[i]).collect();
+            let rewards: Vec<f32> = batch.iter().map(|e| e.reward).collect();
+            let advantages = if self.cfg.ppo.normalize_rewards {
+                normalize_rewards(&rewards)
+            } else {
+                rewards.clone()
+            };
+            signal_sum += self
+                .updater
+                .update_batch(&mut self.policy, &batch, &advantages);
+        }
+
+        let rewards: Vec<f32> = episodes.iter().map(|e| e.reward).collect();
+        let num_items = system.public_info().num_items;
+        let stats = StepStats {
+            step: self.history.len(),
+            mean_reward: tensor::util::mean(&rewards),
+            max_reward: rewards.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+            target_click_ratio: episodes
+                .iter()
+                .map(|e| e.target_click_ratio(num_items))
+                .sum::<f64>()
+                / episodes.len() as f64,
+            ppo_signal: signal_sum / self.cfg.ppo.epochs.max(1) as f32,
+        };
+        self.history.push(stats);
+        stats
+    }
+
+    /// Runs `steps` iterations; returns the accumulated history.
+    pub fn train(&mut self, system: &BlackBoxSystem, steps: usize) -> &[StepStats] {
+        for _ in 0..steps {
+            self.step(system);
+        }
+        &self.history
+    }
+
+    /// Samples a fresh attack (no injection) from the current policy —
+    /// what the attacker deploys after training.
+    pub fn sample_attack(&mut self) -> Episode {
+        self.policy.sample_episode(&self.space, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recsys::data::Dataset;
+    use recsys::rankers::ItemPop;
+    use recsys::system::SystemConfig;
+
+    fn tiny_system() -> BlackBoxSystem {
+        let histories = (0..40u32)
+            .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
+            .collect();
+        let data = Dataset::from_histories("tiny", histories, 60, 8);
+        BlackBoxSystem::build(
+            data,
+            Box::new(ItemPop::new()),
+            SystemConfig {
+                eval_users: 24,
+                reserve_attackers: 8,
+                ..SystemConfig::default()
+            },
+        )
+    }
+
+    fn tiny_cfg(kind: ActionSpaceKind) -> PoisonRecConfig {
+        PoisonRecConfig {
+            policy: PolicyConfig {
+                dim: 8,
+                num_attackers: 4,
+                trajectory_len: 6,
+                init_scale: 0.1,
+            },
+            ppo: PpoConfig {
+                lr: 0.01,
+                samples_per_step: 6,
+                batch: 6,
+                epochs: 2,
+                ..PpoConfig::default()
+            },
+            action_space: kind,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn trainer_runs_and_records_history() {
+        let system = tiny_system();
+        let mut trainer = PoisonRecTrainer::new(tiny_cfg(ActionSpaceKind::BcbtPopular), &system);
+        let history = trainer.train(&system, 3).to_vec();
+        assert_eq!(history.len(), 3);
+        assert!(trainer.best_episode().is_some());
+        assert!(history.iter().all(|s| s.mean_reward >= 0.0));
+        assert!(history
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.target_click_ratio)));
+    }
+
+    #[test]
+    fn learns_to_attack_itempop() {
+        // ItemPop on a tiny catalog: clicking targets repeatedly wins.
+        // After a few steps the mean reward must clearly exceed the
+        // first step's.
+        let system = tiny_system();
+        let mut trainer = PoisonRecTrainer::new(tiny_cfg(ActionSpaceKind::BcbtPopular), &system);
+        let history = trainer.train(&system, 25).to_vec();
+        let early: f32 = history[..5].iter().map(|s| s.mean_reward).sum::<f32>() / 5.0;
+        let late: f32 = history[20..].iter().map(|s| s.mean_reward).sum::<f32>() / 5.0;
+        assert!(
+            late > early + 1.0,
+            "no learning: early mean {early}, late mean {late}"
+        );
+    }
+
+    #[test]
+    fn all_action_spaces_run() {
+        let system = tiny_system();
+        for kind in ActionSpaceKind::ALL {
+            let mut trainer = PoisonRecTrainer::new(tiny_cfg(kind), &system);
+            let stats = trainer.step(&system);
+            assert!(stats.mean_reward.is_finite(), "{kind}");
+        }
+    }
+}

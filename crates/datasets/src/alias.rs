@@ -1,0 +1,133 @@
+//! Walker alias method for O(1) sampling from a fixed discrete
+//! distribution. The dataset generators draw hundreds of thousands of
+//! items from heavily skewed popularity distributions; the alias table
+//! makes that linear in the number of interactions.
+
+use rand::Rng;
+
+/// Precomputed alias table over `0..n`.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are certain events.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 4.0, 8.0, 0.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 5];
+        let draws = 150_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[4], 0, "zero-weight outcome sampled");
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!(
+                (expect - got).abs() < 0.01,
+                "outcome {i}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[3.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let table = AliasTable::new(&[1.0; 64]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 64];
+        for _ in 0..64_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 1000.0).abs() < 200.0, "count {c}");
+        }
+    }
+}

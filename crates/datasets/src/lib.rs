@@ -1,0 +1,23 @@
+//! # datasets
+//!
+//! Synthetic statistical twins of the four evaluation datasets of the
+//! PoisonRec paper (Table II): Steam, MovieLens-1m, and the Amazon
+//! Phone / Clothing categories. The real datasets are unavailable in
+//! this offline reproduction; the twins match the distributional
+//! properties the attack dynamics depend on — scale, popularity skew,
+//! collaborative clusters, and sequential (Markov) correlation. See
+//! DESIGN.md §4 for the substitution argument.
+//!
+//! ```
+//! use datasets::PaperDataset;
+//!
+//! // A 5%-scale Steam twin for quick experiments.
+//! let data = PaperDataset::Steam.generate_scaled(0.05, 42);
+//! assert_eq!(data.num_targets(), 8);
+//! ```
+
+mod alias;
+mod twin;
+
+pub use alias::AliasTable;
+pub use twin::{PaperDataset, TwinSpec, NUM_TARGETS};

@@ -1,0 +1,328 @@
+//! Interaction-log data model shared by the rankers, the black-box
+//! harness, the dataset generators, and the attack framework.
+//!
+//! A [`Dataset`] stores one ordered implicit-feedback item sequence per
+//! user (clicks, ordered by time), the catalog size, and the identity of
+//! the *target items* — the 8 brand-new items (paper §III, Table I) the
+//! attacker wants to promote. Target items carry no organic
+//! interactions. A [`LogView`] overlays attacker trajectories on top of
+//! a dataset without copying it.
+
+/// Item identifier. Targets occupy the tail of the id space.
+pub type ItemId = u32;
+/// User identifier. Attackers occupy ids `>= Dataset::num_users()`.
+pub type UserId = u32;
+
+/// One attacker's ordered fake click sequence (length `T` in the paper).
+pub type Trajectory = Vec<ItemId>;
+
+/// Leave-one-out evaluation split: for each user with `k >= 3`
+/// behaviors, `b_k` is test, `b_{k-1}` validation, the rest train
+/// (paper §IV-A).
+#[derive(Clone, Debug, Default)]
+pub struct HoldOut {
+    /// `(user, held-out item)` pairs.
+    pub pairs: Vec<(UserId, ItemId)>,
+}
+
+/// An implicit-feedback recommendation dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    name: String,
+    /// Train-split click sequences, one per user, time-ordered.
+    sequences: Vec<Vec<ItemId>>,
+    /// Number of *original* items (`|I|`); ids `0..num_items`.
+    num_items: u32,
+    /// Number of target items (`|I_t|`); ids `num_items..catalog`.
+    num_targets: u32,
+    validation: HoldOut,
+    test: HoldOut,
+}
+
+impl Dataset {
+    /// Builds a dataset from per-user full histories, applying the
+    /// leave-one-out split. Users with fewer than `min_len` behaviors
+    /// are dropped (the paper filters at 3).
+    pub fn from_histories(
+        name: impl Into<String>,
+        histories: Vec<Vec<ItemId>>,
+        num_items: u32,
+        num_targets: u32,
+    ) -> Self {
+        let min_len = 3;
+        let mut sequences = Vec::with_capacity(histories.len());
+        let mut validation = HoldOut::default();
+        let mut test = HoldOut::default();
+        for history in histories {
+            if history.len() < min_len {
+                continue;
+            }
+            debug_assert!(
+                history.iter().all(|&i| i < num_items),
+                "history uses target ids"
+            );
+            let user = sequences.len() as UserId;
+            let k = history.len();
+            test.pairs.push((user, history[k - 1]));
+            validation.pairs.push((user, history[k - 2]));
+            sequences.push(history[..k - 2].to_vec());
+        }
+        Self {
+            name: name.into(),
+            sequences,
+            num_items,
+            num_targets,
+            validation,
+            test,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of organic users.
+    pub fn num_users(&self) -> u32 {
+        self.sequences.len() as u32
+    }
+
+    /// `|I|`: number of original items.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// `|I_t|`: number of target items.
+    pub fn num_targets(&self) -> u32 {
+        self.num_targets
+    }
+
+    /// Full catalog size `|I| + |I_t|`; embedding tables use this.
+    pub fn catalog(&self) -> u32 {
+        self.num_items + self.num_targets
+    }
+
+    /// The target item ids (the tail of the id space).
+    pub fn target_items(&self) -> impl ExactSizeIterator<Item = ItemId> + Clone {
+        self.num_items..self.catalog()
+    }
+
+    pub fn is_target(&self, item: ItemId) -> bool {
+        item >= self.num_items && item < self.catalog()
+    }
+
+    /// Train-split click sequence of `user`.
+    pub fn sequence(&self, user: UserId) -> &[ItemId] {
+        &self.sequences[user as usize]
+    }
+
+    pub fn sequences(&self) -> &[Vec<ItemId>] {
+        &self.sequences
+    }
+
+    /// Total number of train interactions.
+    pub fn num_interactions(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    pub fn validation(&self) -> &HoldOut {
+        &self.validation
+    }
+
+    pub fn test(&self) -> &HoldOut {
+        &self.test
+    }
+
+    /// Per-item click counts over the train split (length = catalog;
+    /// targets are zero).
+    pub fn popularity(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.catalog() as usize];
+        for seq in &self.sequences {
+            for &item in seq {
+                counts[item as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Original items sorted by descending popularity (ties by id).
+    pub fn items_by_popularity(&self) -> Vec<ItemId> {
+        let pop = self.popularity();
+        let mut items: Vec<ItemId> = (0..self.num_items).collect();
+        items.sort_by(|&a, &b| pop[b as usize].cmp(&pop[a as usize]).then(a.cmp(&b)));
+        items
+    }
+
+    /// The top `k%` most popular original items (`I_p` in the paper).
+    pub fn popular_set(&self, percent: f64) -> Vec<ItemId> {
+        let ranked = self.items_by_popularity();
+        let take = ((ranked.len() as f64) * percent / 100.0).ceil().max(1.0) as usize;
+        ranked
+            .into_iter()
+            .take(take.min(self.num_items as usize))
+            .collect()
+    }
+}
+
+/// A dataset plus injected attacker trajectories, presented as one log.
+///
+/// Attackers are appended as synthetic users: user ids
+/// `0..base.num_users()` are organic, ids `base.num_users()..num_users()`
+/// index into `poison`.
+#[derive(Copy, Clone)]
+pub struct LogView<'a> {
+    base: &'a Dataset,
+    poison: &'a [Trajectory],
+}
+
+impl<'a> LogView<'a> {
+    pub fn new(base: &'a Dataset, poison: &'a [Trajectory]) -> Self {
+        debug_assert!(poison.iter().flatten().all(|&i| i < base.catalog()));
+        Self { base, poison }
+    }
+
+    /// A view with no poison.
+    pub fn clean(base: &'a Dataset) -> Self {
+        Self { base, poison: &[] }
+    }
+
+    pub fn base(&self) -> &'a Dataset {
+        self.base
+    }
+
+    pub fn poison(&self) -> &'a [Trajectory] {
+        self.poison
+    }
+
+    /// Organic + attacker users.
+    pub fn num_users(&self) -> u32 {
+        self.base.num_users() + self.poison.len() as u32
+    }
+
+    pub fn catalog(&self) -> u32 {
+        self.base.catalog()
+    }
+
+    /// The click sequence of any user (organic or attacker).
+    pub fn sequence(&self, user: UserId) -> &'a [ItemId] {
+        let organic = self.base.num_users();
+        if user < organic {
+            self.base.sequence(user)
+        } else {
+            &self.poison[(user - organic) as usize]
+        }
+    }
+
+    /// Iterates all `(user, item)` interactions, organic then poison.
+    pub fn interactions(&self) -> impl Iterator<Item = (UserId, ItemId)> + '_ {
+        let organic = self.base.num_users();
+        self.base
+            .sequences()
+            .iter()
+            .enumerate()
+            .flat_map(|(u, seq)| seq.iter().map(move |&i| (u as UserId, i)))
+            .chain(
+                self.poison
+                    .iter()
+                    .enumerate()
+                    .flat_map(move |(a, seq)| seq.iter().map(move |&i| (organic + a as UserId, i))),
+            )
+    }
+
+    /// Total interaction count.
+    pub fn num_interactions(&self) -> usize {
+        self.base.num_interactions() + self.poison.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Per-item counts including poison (length = catalog).
+    pub fn popularity(&self) -> Vec<u32> {
+        let mut counts = self.base.popularity();
+        for traj in self.poison {
+            for &item in traj {
+                counts[item as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_histories(
+            "toy",
+            vec![
+                vec![0, 1, 2, 3, 4], // train [0,1,2], val 3, test 4
+                vec![1, 2, 3],       // train [1], val 2, test 3
+                vec![0, 1],          // dropped (< 3)
+            ],
+            5,
+            2,
+        )
+    }
+
+    #[test]
+    fn split_is_leave_one_out() {
+        let d = toy();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.sequence(0), &[0, 1, 2]);
+        assert_eq!(d.sequence(1), &[1]);
+        assert_eq!(d.validation().pairs, vec![(0, 3), (1, 2)]);
+        assert_eq!(d.test().pairs, vec![(0, 4), (1, 3)]);
+    }
+
+    #[test]
+    fn target_ids_follow_catalog() {
+        let d = toy();
+        assert_eq!(d.catalog(), 7);
+        let targets: Vec<_> = d.target_items().collect();
+        assert_eq!(targets, vec![5, 6]);
+        assert!(d.is_target(5));
+        assert!(!d.is_target(4));
+    }
+
+    #[test]
+    fn popularity_counts_train_only() {
+        let d = toy();
+        let pop = d.popularity();
+        assert_eq!(pop[0], 1); // user0 train only
+        assert_eq!(pop[1], 2); // user0 + user1
+        assert_eq!(pop[3], 0); // val item not counted
+        assert_eq!(pop[5], 0); // target
+    }
+
+    #[test]
+    fn items_by_popularity_is_sorted() {
+        let d = toy();
+        let ranked = d.items_by_popularity();
+        assert_eq!(ranked[0], 1);
+        let pop = d.popularity();
+        for w in ranked.windows(2) {
+            assert!(pop[w[0] as usize] >= pop[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    fn popular_set_size() {
+        let d = toy();
+        assert_eq!(d.popular_set(10.0).len(), 1);
+        assert_eq!(d.popular_set(100.0).len(), 5);
+    }
+
+    #[test]
+    fn log_view_overlays_poison() {
+        let d = toy();
+        let poison = vec![vec![5, 1, 5]];
+        let v = LogView::new(&d, &poison);
+        assert_eq!(v.num_users(), 3);
+        assert_eq!(v.sequence(2), &[5, 1, 5]);
+        assert_eq!(v.num_interactions(), d.num_interactions() + 3);
+        let pop = v.popularity();
+        assert_eq!(pop[5], 2);
+        assert_eq!(pop[1], 3);
+        let all: Vec<_> = v.interactions().collect();
+        assert_eq!(all.len(), v.num_interactions());
+        assert_eq!(all.last(), Some(&(2, 5)));
+    }
+}

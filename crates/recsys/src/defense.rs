@@ -1,0 +1,243 @@
+//! Defense-side extension: fake-account detectors.
+//!
+//! The paper attacks undefended systems; a natural extension study (and
+//! the obvious follow-up for a production team) is how much of the
+//! attack survives simple injection filters. Two classic shilling-
+//! detection signals are implemented:
+//!
+//! * [`PopularityDeviationDetector`] — attackers must click the cold
+//!   target items often, so their mean clicked-item popularity sits far
+//!   below the organic population's.
+//! * [`RepetitionDetector`] — budget-efficient attacks repeat a few
+//!   items; organic sessions are more diverse.
+//!
+//! Both score every user and flag outliers against the *organic*
+//! distribution (estimated robustly via median/MAD), so they need no
+//! labeled attack data. [`filter_poison`] drops flagged attacker
+//! accounts before the system retrains.
+
+use crate::data::{Dataset, ItemId, Trajectory};
+
+/// A per-user anomaly score; higher = more suspicious.
+pub trait FakeUserDetector {
+    fn name(&self) -> &'static str;
+
+    /// Scores one click sequence given the clean dataset's context.
+    fn score(&self, base: &Dataset, sequence: &[ItemId]) -> f64;
+
+    /// Decision threshold calibrated so that at most `fpr` of organic
+    /// users would be flagged (empirical quantile over the base users).
+    fn threshold(&self, base: &Dataset, fpr: f64) -> f64 {
+        let mut scores: Vec<f64> = (0..base.num_users())
+            .map(|u| self.score(base, base.sequence(u)))
+            .collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx =
+            (((1.0 - fpr.clamp(0.0, 1.0)) * scores.len() as f64) as usize).min(scores.len() - 1);
+        scores[idx]
+    }
+}
+
+/// Flags users whose clicks concentrate on unpopular items.
+///
+/// Score = fraction of the user's clicks on items below the `q`-th
+/// popularity percentile of the catalog. Attack trajectories spend
+/// roughly half their clicks on brand-new targets (popularity 0), so
+/// they max this score out.
+#[derive(Clone, Debug)]
+pub struct PopularityDeviationDetector {
+    /// Items below this popularity percentile count as "cold".
+    pub cold_percentile: f64,
+}
+
+impl Default for PopularityDeviationDetector {
+    fn default() -> Self {
+        Self {
+            cold_percentile: 0.1,
+        }
+    }
+}
+
+impl FakeUserDetector for PopularityDeviationDetector {
+    fn name(&self) -> &'static str {
+        "popularity-deviation"
+    }
+
+    fn score(&self, base: &Dataset, sequence: &[ItemId]) -> f64 {
+        if sequence.is_empty() {
+            return 0.0;
+        }
+        let pop = base.popularity();
+        let mut sorted: Vec<u32> = pop[..base.num_items() as usize].to_vec();
+        sorted.sort_unstable();
+        let cutoff_idx = ((self.cold_percentile * sorted.len() as f64) as usize)
+            .min(sorted.len().saturating_sub(1));
+        let cutoff = sorted[cutoff_idx];
+        let cold = sequence
+            .iter()
+            .filter(|&&i| pop.get(i as usize).copied().unwrap_or(0) <= cutoff)
+            .count();
+        cold as f64 / sequence.len() as f64
+    }
+}
+
+/// Flags users with abnormally repetitive sessions.
+///
+/// Score = 1 − (distinct items / clicks). An organic session rarely
+/// repeats the same item many times; "click the target 20 times" does.
+#[derive(Clone, Debug, Default)]
+pub struct RepetitionDetector;
+
+impl FakeUserDetector for RepetitionDetector {
+    fn name(&self) -> &'static str {
+        "repetition"
+    }
+
+    fn score(&self, _base: &Dataset, sequence: &[ItemId]) -> f64 {
+        if sequence.is_empty() {
+            return 0.0;
+        }
+        let mut distinct: Vec<ItemId> = sequence.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        1.0 - distinct.len() as f64 / sequence.len() as f64
+    }
+}
+
+/// Outcome of running a detector over an injected trajectory set.
+#[derive(Clone, Debug)]
+pub struct DefenseReport {
+    pub detector: &'static str,
+    /// Threshold used (calibrated on organic users).
+    pub threshold: f64,
+    /// Index of each attacker account that was flagged and dropped.
+    pub flagged: Vec<usize>,
+    /// Trajectories that survived the filter.
+    pub surviving: Vec<Trajectory>,
+}
+
+impl DefenseReport {
+    /// Fraction of attacker accounts caught.
+    pub fn detection_rate(&self, injected: usize) -> f64 {
+        if injected == 0 {
+            0.0
+        } else {
+            self.flagged.len() as f64 / injected as f64
+        }
+    }
+}
+
+/// Applies a detector to injected poison: flags every attacker whose
+/// score exceeds the organic `fpr`-quantile threshold and returns the
+/// surviving trajectories.
+pub fn filter_poison(
+    detector: &dyn FakeUserDetector,
+    base: &Dataset,
+    poison: &[Trajectory],
+    fpr: f64,
+) -> DefenseReport {
+    let threshold = detector.threshold(base, fpr);
+    let mut flagged = Vec::new();
+    let mut surviving = Vec::new();
+    for (i, traj) in poison.iter().enumerate() {
+        if detector.score(base, traj) > threshold {
+            flagged.push(i);
+        } else {
+            surviving.push(traj.clone());
+        }
+    }
+    DefenseReport {
+        detector: detector.name(),
+        threshold,
+        flagged,
+        surviving,
+    }
+}
+
+/// Convenience: a defended observation = filter, then the usual
+/// poison-and-measure path.
+pub fn defended_rec_num(
+    system: &crate::system::BlackBoxSystem,
+    detector: &dyn FakeUserDetector,
+    poison: &[Trajectory],
+    fpr: f64,
+    seed: u64,
+) -> (u32, DefenseReport) {
+    let report = filter_poison(detector, system.base(), poison, fpr);
+    let rec_num = system.inject_and_observe_seeded(&report.surviving, seed);
+    (rec_num, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn organic_like() -> Dataset {
+        // Organic users click varied, mostly-popular items.
+        let histories = (0..60u32)
+            .map(|u| (0..8).map(|t| (u + t * 3) % 40).collect())
+            .collect();
+        Dataset::from_histories("d", histories, 200, 8)
+    }
+
+    #[test]
+    fn repetition_detector_separates_burst_attackers() {
+        let d = organic_like();
+        let det = RepetitionDetector;
+        let organic_score = det.score(&d, d.sequence(0));
+        let attacker_score = det.score(&d, &[200, 200, 200, 200, 200, 200]);
+        assert!(attacker_score > organic_score);
+        let threshold = det.threshold(&d, 0.05);
+        assert!(
+            attacker_score > threshold,
+            "burst attacker evades: {attacker_score} <= {threshold}"
+        );
+    }
+
+    #[test]
+    fn popularity_detector_flags_target_heavy_sessions() {
+        let d = organic_like();
+        let det = PopularityDeviationDetector::default();
+        // Targets have zero popularity: all-target trajectory maxes out.
+        let s = det.score(&d, &[200, 201, 202, 203]);
+        assert_eq!(s, 1.0);
+        // Typical organic user clicks popular items only.
+        assert!(det.score(&d, d.sequence(0)) < 0.5);
+    }
+
+    #[test]
+    fn filter_drops_only_flagged_accounts() {
+        let d = organic_like();
+        let poison: Vec<Trajectory> = vec![
+            vec![200; 8],           // blatant burst
+            d.sequence(3).to_vec(), // mimics an organic user
+        ];
+        let report = filter_poison(&RepetitionDetector, &d, &poison, 0.05);
+        assert_eq!(report.flagged, vec![0]);
+        assert_eq!(report.surviving.len(), 1);
+        assert!((report.detection_rate(2) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_respects_false_positive_budget() {
+        let d = organic_like();
+        let det = PopularityDeviationDetector::default();
+        let threshold = det.threshold(&d, 0.1);
+        let flagged_organic = (0..d.num_users())
+            .filter(|&u| det.score(&d, d.sequence(u)) > threshold)
+            .count();
+        assert!(
+            flagged_organic as f64 <= 0.12 * f64::from(d.num_users()),
+            "{flagged_organic} organic users flagged"
+        );
+    }
+
+    #[test]
+    fn empty_poison_is_harmless() {
+        let d = organic_like();
+        let report = filter_poison(&RepetitionDetector, &d, &[], 0.05);
+        assert!(report.flagged.is_empty());
+        assert!(report.surviving.is_empty());
+        assert_eq!(report.detection_rate(0), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Evaluation protocol of the paper (§IV-A):
+//!
+//! * **Candidate generation** is random for efficiency: each
+//!   recommendation draws 92 random original items plus the 8 target
+//!   items into a 100-item candidate set.
+//! * **Ranker** scores the candidates; the top `k = 10` become the
+//!   recommendation list `L_u`.
+//! * **RecNum** is `Σ_u |L_u ∩ I_t|` over the evaluated users.
+//!
+//! Candidate draws use *common random numbers*: the same
+//! `(protocol seed, user)` always yields the same candidate set, so
+//! RecNum differences between two attacks reflect the attacks, not
+//! candidate-sampling noise. This matters for the RL reward signal.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::data::{Dataset, ItemId, UserId};
+use crate::rankers::Ranker;
+
+/// Fixed evaluation protocol: which users are polled and how candidate
+/// sets are drawn.
+#[derive(Clone, Debug)]
+pub struct EvalProtocol {
+    eval_users: Vec<UserId>,
+    top_k: usize,
+    n_original_candidates: usize,
+    candidate_seed: u64,
+}
+
+impl EvalProtocol {
+    /// Samples `n_users` distinct evaluation users (all users when
+    /// `n_users >= num_users`). `seed` fixes both the user sample and
+    /// every later candidate draw.
+    pub fn sample(base: &Dataset, n_users: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut users: Vec<UserId> = (0..base.num_users()).collect();
+        users.shuffle(&mut rng);
+        users.truncate(n_users.max(1));
+        users.sort_unstable();
+        Self {
+            eval_users: users,
+            top_k: 10,
+            n_original_candidates: 92,
+            candidate_seed: seed,
+        }
+    }
+
+    /// Overrides the paper defaults (top-10 of 92+|I_t| candidates).
+    pub fn with_list_shape(mut self, top_k: usize, n_original_candidates: usize) -> Self {
+        self.top_k = top_k;
+        self.n_original_candidates = n_original_candidates;
+        self
+    }
+
+    pub fn eval_users(&self) -> &[UserId] {
+        &self.eval_users
+    }
+
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Deterministic candidate set for `user`: `n_original_candidates`
+    /// distinct original items plus every target item.
+    pub fn candidates(&self, base: &Dataset, user: UserId) -> Vec<ItemId> {
+        let mut rng =
+            StdRng::seed_from_u64(self.candidate_seed ^ (0x9E37_79B9 * u64::from(user) + 1));
+        let n = self.n_original_candidates.min(base.num_items() as usize);
+        let mut picked = Vec::with_capacity(n + base.num_targets() as usize);
+        // Floyd's algorithm for distinct sampling without materializing 0..|I|.
+        let mut seen = std::collections::HashSet::with_capacity(n * 2);
+        let total = base.num_items();
+        for j in (total - n as u32)..total {
+            let t = rng.gen_range(0..=j);
+            let pick = if seen.contains(&t) { j } else { t };
+            seen.insert(pick);
+            picked.push(pick);
+        }
+        picked.extend(base.target_items());
+        picked
+    }
+
+    /// One recommendation list `L_u` for `user`.
+    pub fn recommend(&self, ranker: &dyn Ranker, base: &Dataset, user: UserId) -> Vec<ItemId> {
+        let candidates = self.candidates(base, user);
+        let scores = ranker.score(user, base.sequence(user), &candidates);
+        top_k_items(&candidates, &scores, self.top_k)
+    }
+
+    /// `RecNum = Σ_u |L_u ∩ I_t|` over the protocol's users.
+    pub fn rec_num(&self, ranker: &dyn Ranker, base: &Dataset) -> u32 {
+        let mut total = 0;
+        for &user in &self.eval_users {
+            let list = self.recommend(ranker, base, user);
+            total += list.iter().filter(|&&i| base.is_target(i)).count() as u32;
+        }
+        total
+    }
+
+    /// Maximum possible RecNum under this protocol
+    /// (`eval_users * min(top_k, |I_t|)`).
+    pub fn max_rec_num(&self, base: &Dataset) -> u32 {
+        (self.eval_users.len() * self.top_k.min(base.num_targets() as usize)) as u32
+    }
+}
+
+/// Indices of the `k` highest-scoring candidates, by score descending.
+pub fn top_k_items(candidates: &[ItemId], scores: &[f32], k: usize) -> Vec<ItemId> {
+    debug_assert_eq!(candidates.len(), scores.len());
+    let mut idx: Vec<usize> = (0..candidates.len()).collect();
+    let k = k.min(idx.len());
+    idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.into_iter().map(|i| candidates[i]).collect()
+}
+
+/// Hit-rate@k on a hold-out split: the held-out item competes against
+/// `n_negatives` random unseen items; a hit is scored when it lands in
+/// the top-k. Used to verify every ranker actually recommends.
+pub fn hit_rate_at_k(
+    ranker: &dyn Ranker,
+    base: &Dataset,
+    holdout: &[(UserId, ItemId)],
+    k: usize,
+    n_negatives: usize,
+    seed: u64,
+) -> f64 {
+    if holdout.is_empty() {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for &(user, held) in holdout {
+        let mut candidates = Vec::with_capacity(n_negatives + 1);
+        candidates.push(held);
+        while candidates.len() < n_negatives + 1 {
+            let item = rng.gen_range(0..base.num_items());
+            if item != held && !candidates.contains(&item) {
+                candidates.push(item);
+            }
+        }
+        let scores = ranker.score(user, base.sequence(user), &candidates);
+        let top = top_k_items(&candidates, &scores, k);
+        if top.contains(&held) {
+            hits += 1;
+        }
+    }
+    hits as f64 / holdout.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::LogView;
+
+    /// Scores items by id, higher id wins.
+    #[derive(Clone)]
+    struct IdRanker;
+    impl Ranker for IdRanker {
+        fn name(&self) -> &'static str {
+            "id"
+        }
+        fn fit(&mut self, _view: &LogView<'_>, _seed: u64) {}
+        fn fine_tune(&mut self, _view: &LogView<'_>, _seed: u64) {}
+        fn score(&self, _u: UserId, _h: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+            candidates.iter().map(|&c| c as f32).collect()
+        }
+        fn boxed_clone(&self) -> Box<dyn Ranker> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn toy() -> Dataset {
+        let histories = (0..20)
+            .map(|u| vec![u % 50, (u + 1) % 50, (u + 2) % 50, (u + 3) % 50])
+            .collect();
+        Dataset::from_histories("toy", histories, 50, 8)
+    }
+
+    #[test]
+    fn candidates_are_deterministic_and_distinct() {
+        let d = toy();
+        let p = EvalProtocol::sample(&d, 10, 7).with_list_shape(10, 30);
+        let c1 = p.candidates(&d, 3);
+        let c2 = p.candidates(&d, 3);
+        assert_eq!(c1, c2, "common random numbers violated");
+        let c3 = p.candidates(&d, 4);
+        assert_ne!(c1, c3, "different users should draw different candidates");
+        let mut originals: Vec<_> = c1.iter().filter(|&&i| !d.is_target(i)).collect();
+        let before = originals.len();
+        originals.sort_unstable();
+        originals.dedup();
+        assert_eq!(before, originals.len(), "duplicate original candidates");
+        assert_eq!(c1.iter().filter(|&&i| d.is_target(i)).count(), 8);
+    }
+
+    #[test]
+    fn id_ranker_always_recommends_targets() {
+        // Targets have the highest ids, so IdRanker puts all 8 in top-10.
+        let d = toy();
+        let p = EvalProtocol::sample(&d, 10, 7);
+        let rn = p.rec_num(&IdRanker, &d);
+        assert_eq!(rn, 80);
+        assert_eq!(p.max_rec_num(&d), 80);
+    }
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let items = vec![10, 20, 30, 40];
+        let scores = vec![0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_items(&items, &scores, 2), vec![20, 40]);
+        assert_eq!(top_k_items(&items, &scores, 10).len(), 4);
+    }
+
+    #[test]
+    fn hit_rate_of_perfect_ranker() {
+        let d = toy();
+        // A ranker that always scores the held-out item highest.
+        #[derive(Clone)]
+        struct Oracle(Vec<(UserId, ItemId)>);
+        impl Ranker for Oracle {
+            fn name(&self) -> &'static str {
+                "oracle"
+            }
+            fn fit(&mut self, _v: &LogView<'_>, _s: u64) {}
+            fn fine_tune(&mut self, _v: &LogView<'_>, _s: u64) {}
+            fn score(&self, u: UserId, _h: &[ItemId], c: &[ItemId]) -> Vec<f32> {
+                let held = self.0.iter().find(|&&(hu, _)| hu == u).map(|&(_, i)| i);
+                c.iter()
+                    .map(|&i| if Some(i) == held { 1.0 } else { 0.0 })
+                    .collect()
+            }
+            fn boxed_clone(&self) -> Box<dyn Ranker> {
+                Box::new(self.clone())
+            }
+        }
+        let holdout = d.test().pairs.clone();
+        let hr = hit_rate_at_k(&Oracle(holdout.clone()), &d, &holdout, 10, 20, 3);
+        assert_eq!(hr, 1.0);
+    }
+}

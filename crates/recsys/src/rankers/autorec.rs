@@ -1,0 +1,253 @@
+//! AutoRec (Sedhain et al., 2015): autoencoder collaborative filtering,
+//! paper testbed #6. We implement the user-based variant (U-AutoRec):
+//! a user's binary interaction vector over the catalog is encoded
+//! through a sigmoid hidden layer and decoded back; candidates are
+//! scored by their reconstructed value.
+//!
+//! Implicit-feedback adaptation: reconstructing an all-ones observed
+//! vector is degenerate, so the masked loss covers the observed entries
+//! (`y = 1`) *and* a sample of unobserved entries (`y = 0`), as in
+//! denoising/CDAE-style training.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tensor::nn::Linear;
+use tensor::optim::{Optimizer, Sgd};
+use tensor::{GradStore, Graph, Matrix, ParamSet};
+
+use crate::data::{ItemId, LogView, UserId};
+use crate::rankers::common::EmbeddingConfig;
+use crate::rankers::Ranker;
+
+/// AutoRec hyperparameters.
+#[derive(Copy, Clone, Debug)]
+pub struct AutoRecConfig {
+    pub hidden: usize,
+    pub lr: f32,
+    /// Unobserved entries sampled per observed entry in the loss mask.
+    pub neg_ratio: usize,
+    /// Loss weight of sampled zero targets relative to observed ones.
+    /// A soft prior toward 0 keeps the decoder honest without letting
+    /// organic users' unobserved entries drown out poison positives.
+    pub neg_weight: f32,
+    pub epochs: usize,
+    pub ft_epochs: usize,
+    /// Organic users replayed per fine-tune epoch.
+    pub ft_replay_users: usize,
+    pub batch: usize,
+}
+
+impl Default for AutoRecConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            lr: 0.1,
+            neg_ratio: 3,
+            neg_weight: 0.5,
+            epochs: 3,
+            ft_epochs: 3,
+            ft_replay_users: 64,
+            batch: 32,
+        }
+    }
+}
+
+/// User-based autoencoder ranker.
+#[derive(Clone)]
+pub struct AutoRec {
+    cfg: AutoRecConfig,
+    emb: EmbeddingConfig,
+    state: Option<AutoRecState>,
+}
+
+#[derive(Clone)]
+struct AutoRecState {
+    params: ParamSet,
+    encoder: Linear,
+    decoder: Linear,
+}
+
+impl AutoRec {
+    pub fn new(cfg: AutoRecConfig, emb: EmbeddingConfig) -> Self {
+        Self {
+            cfg,
+            emb,
+            state: None,
+        }
+    }
+
+    fn catalog(&self) -> usize {
+        self.emb.catalog as usize
+    }
+
+    fn reconstruct(state: &AutoRecState, g: &mut Graph<'_>, input: Matrix) -> tensor::Var {
+        let x = g.input(input);
+        let enc = state.encoder.forward(g, x);
+        let hidden = g.sigmoid(enc);
+        state.decoder.forward(g, hidden)
+    }
+
+    fn train_users(&mut self, view: &LogView<'_>, users: &[UserId], rng: &mut StdRng) {
+        let cfg = self.cfg;
+        let catalog = self.catalog();
+        let state = self.state.as_mut().expect("fitted");
+        let mut opt = Sgd::new(cfg.lr);
+        let mut grads = GradStore::zeros_like(&state.params);
+        for chunk in users.chunks(cfg.batch) {
+            let n = chunk.len();
+            let mut input = Matrix::zeros(n, catalog);
+            let mut mask = Matrix::zeros(n, catalog);
+            for (r, &u) in chunk.iter().enumerate() {
+                let seq = view.sequence(u);
+                for &item in seq {
+                    input.set(r, item as usize, 1.0);
+                    mask.set(r, item as usize, 1.0);
+                }
+                // Sampled zero targets keep the decoder honest; drawn
+                // from original items only (realistic samplers never
+                // pick brand-new zero-popularity items as negatives).
+                let originals = self.emb.num_items as usize;
+                for _ in 0..seq.len() * cfg.neg_ratio {
+                    let j = rng.gen_range(0..originals);
+                    if input.at(r, j) == 0.0 {
+                        mask.set(r, j, cfg.neg_weight);
+                    }
+                }
+            }
+            let targets = input.clone();
+            {
+                let mut g = Graph::new(&state.params);
+                let recon = Self::reconstruct(state, &mut g, input);
+                let loss = g.mse_masked(recon, targets, mask);
+                g.backward(loss, &mut grads);
+            }
+            opt.step(&mut state.params, &grads);
+            grads.zero();
+        }
+    }
+}
+
+impl Ranker for AutoRec {
+    fn name(&self) -> &'static str {
+        "AutoRec"
+    }
+
+    fn fit(&mut self, view: &LogView<'_>, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = self.catalog();
+        let mut params = ParamSet::new();
+        let encoder = Linear::new(&mut params, "enc", catalog, self.cfg.hidden, &mut rng);
+        let decoder = Linear::new(&mut params, "dec", self.cfg.hidden, catalog, &mut rng);
+        self.state = Some(AutoRecState {
+            params,
+            encoder,
+            decoder,
+        });
+        let mut users: Vec<UserId> = (0..view.num_users()).collect();
+        for _ in 0..self.cfg.epochs {
+            users.shuffle(&mut rng);
+            self.train_users(view, &users.clone(), &mut rng);
+        }
+    }
+
+    fn fine_tune(&mut self, view: &LogView<'_>, seed: u64) {
+        assert!(
+            self.state.is_some(),
+            "AutoRec::fit must run before fine_tune"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let organic = view.base().num_users();
+        let attackers: Vec<UserId> = (organic..view.num_users()).collect();
+        for _ in 0..self.cfg.ft_epochs {
+            let mut users = attackers.clone();
+            for _ in 0..self.cfg.ft_replay_users {
+                users.push(rng.gen_range(0..organic));
+            }
+            users.shuffle(&mut rng);
+            self.train_users(view, &users, &mut rng);
+        }
+    }
+
+    fn score(&self, _user: UserId, history: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        let state = self
+            .state
+            .as_ref()
+            .expect("AutoRec::fit must run before score");
+        let catalog = self.catalog();
+        let mut input = Matrix::zeros(1, catalog);
+        for &item in history {
+            input.set(0, item as usize, 1.0);
+        }
+        let mut g = Graph::new(&state.params);
+        let recon = Self::reconstruct(state, &mut g, input);
+        let row = g.value(recon);
+        candidates.iter().map(|&c| row.at(0, c as usize)).collect()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Ranker> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    fn clustered() -> Dataset {
+        let mut histories = Vec::new();
+        for u in 0..60u32 {
+            let offset = if u < 30 { 0 } else { 10 };
+            let h: Vec<u32> = (0..8).map(|t| offset + ((u + t) % 10)).collect();
+            histories.push(h);
+        }
+        Dataset::from_histories("clustered", histories, 20, 2)
+    }
+
+    #[test]
+    fn reconstructs_cluster_preferences() {
+        let d = clustered();
+        let view = LogView::clean(&d);
+        let mut r = AutoRec::new(
+            AutoRecConfig {
+                epochs: 20,
+                ..AutoRecConfig::default()
+            },
+            EmbeddingConfig::for_view(&view, 4),
+        );
+        r.fit(&view, 3);
+        // A cluster-A history should reconstruct cluster-A items above
+        // cluster-B items, including unclicked ones.
+        let history = d.sequence(0).to_vec();
+        let unseen_a: Vec<ItemId> = (0..10).filter(|i| !history.contains(i)).collect();
+        let sa: f32 = r.score(0, &history, &unseen_a).iter().sum::<f32>() / unseen_a.len() as f32;
+        let b_items: Vec<ItemId> = (10..20).collect();
+        let sb: f32 = r.score(0, &history, &b_items).iter().sum::<f32>() / 10.0;
+        assert!(sa > sb, "cluster A {sa} vs cluster B {sb}");
+    }
+
+    #[test]
+    fn poison_with_co_clicks_promotes_target() {
+        let d = clustered();
+        let view = LogView::clean(&d);
+        let mut r = AutoRec::new(
+            AutoRecConfig::default(),
+            EmbeddingConfig::for_view(&view, 6),
+        );
+        r.fit(&view, 3);
+        let target = 20;
+        let history = d.sequence(2).to_vec();
+        let before = r.score(2, &history, &[target])[0];
+        // Attackers click the target alongside cluster-A items so the
+        // decoder ties the target column to cluster-A hidden units.
+        let poison: Vec<Vec<ItemId>> = (0..6)
+            .map(|a| (0..8).flat_map(|t| [target, (a + t) % 10]).collect())
+            .collect();
+        let pview = LogView::new(&d, &poison);
+        let mut poisoned = r.clone();
+        poisoned.fine_tune(&pview, 9);
+        let after = poisoned.score(2, &history, &[target])[0];
+        assert!(after > before, "before={before} after={after}");
+    }
+}

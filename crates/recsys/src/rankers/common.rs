@@ -1,0 +1,300 @@
+//! Shared plumbing for the learned rankers: table sizing, negative
+//! sampling, and the replay buffer used by warm-start fine-tuning.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::data::{ItemId, LogView, UserId};
+
+/// Sizing information for user/item embedding tables.
+///
+/// Tables must be allocated once (at `fit` time) yet score logs whose
+/// user count grows when attackers are injected, so we reserve
+/// `reserve_attackers` extra user rows up front.
+#[derive(Copy, Clone, Debug)]
+pub struct EmbeddingConfig {
+    /// Organic user count at fit time.
+    pub base_users: u32,
+    /// Extra user rows reserved for injected attacker accounts.
+    pub reserve_attackers: u32,
+    /// Catalog size `|I| + |I_t|`.
+    pub catalog: u32,
+    /// Original item count `|I|` (targets occupy `num_items..catalog`).
+    pub num_items: u32,
+}
+
+impl EmbeddingConfig {
+    pub fn for_view(view: &LogView<'_>, reserve_attackers: u32) -> Self {
+        Self {
+            base_users: view.base().num_users(),
+            reserve_attackers,
+            catalog: view.catalog(),
+            num_items: view.base().num_items(),
+        }
+    }
+
+    /// Total user rows (organic + reserved).
+    pub fn user_rows(&self) -> u32 {
+        self.base_users + self.reserve_attackers
+    }
+
+    /// Maps a (possibly attacker) user id to its table row.
+    ///
+    /// # Panics
+    /// Panics if more attackers are injected than were reserved.
+    pub fn user_row(&self, user: UserId) -> usize {
+        assert!(
+            user < self.user_rows(),
+            "user {user} exceeds reserved rows ({} organic + {} attackers); \
+             raise reserve_attackers",
+            self.base_users,
+            self.reserve_attackers
+        );
+        user as usize
+    }
+}
+
+/// A `(user, positive item)` training pair.
+pub type Pair = (UserId, ItemId);
+
+/// Collects every interaction of the view into training pairs.
+pub fn all_pairs(view: &LogView<'_>) -> Vec<Pair> {
+    view.interactions().collect()
+}
+
+/// Training pairs for a fine-tune pass: every poison interaction plus
+/// `replay` organic interactions sampled uniformly. The poison must be
+/// seen together with organic contrast data or the warm model would
+/// simply drift.
+pub fn fine_tune_pairs(view: &LogView<'_>, replay: usize, rng: &mut StdRng) -> Vec<Pair> {
+    let organic_users = view.base().num_users();
+    let mut pairs: Vec<Pair> = Vec::new();
+    for (a, traj) in view.poison().iter().enumerate() {
+        let user = organic_users + a as UserId;
+        pairs.extend(traj.iter().map(|&i| (user, i)));
+    }
+    let base = view.base();
+    if base.num_interactions() > 0 {
+        for _ in 0..replay {
+            let user = rng.gen_range(0..organic_users);
+            let seq = base.sequence(user);
+            if seq.is_empty() {
+                continue;
+            }
+            let item = seq[rng.gen_range(0..seq.len())];
+            pairs.push((user, item));
+        }
+    }
+    pairs
+}
+
+/// Samples an *original* item the user has not interacted with in the
+/// view. Negatives are drawn from `I` only: realistic samplers pick
+/// negatives by popularity / from the training catalog, so brand-new
+/// target items (zero organic interactions) are effectively never
+/// negative-sampled — which is precisely what lets poison positives on
+/// targets go uncontested. Falls back to any original item after a few
+/// rejections (dense users).
+pub fn sample_negative(view: &LogView<'_>, user: UserId, rng: &mut StdRng) -> ItemId {
+    let originals = view.base().num_items();
+    let seq = view.sequence(user);
+    for _ in 0..8 {
+        let item = rng.gen_range(0..originals);
+        if !seq.contains(&item) {
+            return item;
+        }
+    }
+    rng.gen_range(0..originals)
+}
+
+/// Derives a child seed (SplitMix64 step) so components can fan out
+/// independent deterministic RNG streams from one experiment seed.
+pub fn child_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let histories = (0..10u32)
+            .map(|u| vec![u % 5, (u + 1) % 5, (u + 2) % 5, (u + 3) % 5])
+            .collect();
+        Dataset::from_histories("toy", histories, 5, 2)
+    }
+
+    #[test]
+    fn user_row_mapping_and_panic() {
+        let d = toy();
+        let view = LogView::clean(&d);
+        let cfg = EmbeddingConfig::for_view(&view, 3);
+        assert_eq!(cfg.user_rows(), 13);
+        assert_eq!(cfg.user_row(12), 12);
+        let result = std::panic::catch_unwind(|| cfg.user_row(13));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn fine_tune_pairs_contains_all_poison() {
+        let d = toy();
+        let poison = vec![vec![5, 0, 5], vec![6, 1]];
+        let view = LogView::new(&d, &poison);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs = fine_tune_pairs(&view, 7, &mut rng);
+        let poison_pairs: Vec<_> = pairs.iter().filter(|&&(u, _)| u >= d.num_users()).collect();
+        assert_eq!(poison_pairs.len(), 5);
+        assert_eq!(pairs.len(), 12);
+        // Attacker ids map past the organic users.
+        assert!(poison_pairs.iter().all(|&&(u, _)| u == 10 || u == 11));
+    }
+
+    #[test]
+    fn negative_sampling_avoids_history() {
+        let d = toy();
+        let view = LogView::clean(&d);
+        let mut rng = StdRng::seed_from_u64(2);
+        // User 0 history is [0,1]; the sampler should essentially
+        // always dodge it and must never emit a target item.
+        let mut dodged = 0;
+        for _ in 0..100 {
+            let n = sample_negative(&view, 0, &mut rng);
+            assert!(n < d.num_items(), "negative {n} is a target item");
+            if !view.sequence(0).contains(&n) {
+                dodged += 1;
+            }
+        }
+        assert!(dodged > 95);
+    }
+
+    #[test]
+    fn child_seed_streams_differ() {
+        let a = child_seed(42, 0);
+        let b = child_seed(42, 1);
+        let c = child_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, child_seed(42, 0));
+    }
+}
+
+/// Flat user/item latent-factor tables shared by the matrix-factorization
+/// rankers (PMF, BPR). Stored as contiguous `Vec<f32>` for cache-friendly
+/// hand-written SGD.
+#[derive(Clone, Debug)]
+pub struct MfTables {
+    pub dim: usize,
+    cfg: EmbeddingConfig,
+    user: Vec<f32>,
+    item: Vec<f32>,
+    /// Per-item bias; empty when the model is bias-free (classic PMF
+    /// is a pure inner product — keeping it that way also removes an
+    /// unrealistic global-boost attack pathway).
+    pub item_bias: Vec<f32>,
+}
+
+impl MfTables {
+    /// Fresh tables with uniform(-scale, scale) entries.
+    pub fn init(cfg: EmbeddingConfig, dim: usize, scale: f32, rng: &mut StdRng) -> Self {
+        let user_len = cfg.user_rows() as usize * dim;
+        let item_len = cfg.catalog as usize * dim;
+        Self {
+            dim,
+            cfg,
+            user: (0..user_len)
+                .map(|_| rng.gen_range(-scale..=scale))
+                .collect(),
+            item: (0..item_len)
+                .map(|_| rng.gen_range(-scale..=scale))
+                .collect(),
+            item_bias: vec![0.0; cfg.catalog as usize],
+        }
+    }
+
+    pub fn cfg(&self) -> EmbeddingConfig {
+        self.cfg
+    }
+
+    #[inline]
+    pub fn user_vec(&self, u: UserId) -> &[f32] {
+        let r = self.cfg.user_row(u);
+        &self.user[r * self.dim..(r + 1) * self.dim]
+    }
+
+    #[inline]
+    pub fn item_vec(&self, i: ItemId) -> &[f32] {
+        let i = i as usize;
+        &self.item[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The full item-factor table as a matrix (`catalog x dim`).
+    pub fn item_matrix(&self) -> tensor::Matrix {
+        tensor::Matrix::from_vec(self.cfg.catalog as usize, self.dim, self.item.clone())
+    }
+
+    /// Predicted preference `p_u · q_i (+ b_i)`.
+    #[inline]
+    pub fn predict(&self, u: UserId, i: ItemId) -> f32 {
+        let p = self.user_vec(u);
+        let q = self.item_vec(i);
+        let mut acc = self.item_bias.get(i as usize).copied().unwrap_or(0.0);
+        for (a, b) in p.iter().zip(q) {
+            acc += a * b;
+        }
+        acc
+    }
+
+    /// Re-randomizes the reserved attacker rows (called at the start of
+    /// every fine-tune so stale attacker state never leaks between
+    /// attack evaluations).
+    pub fn reset_attacker_rows(&mut self, scale: f32, rng: &mut StdRng) {
+        let start = self.cfg.base_users as usize * self.dim;
+        for x in &mut self.user[start..] {
+            *x = rng.gen_range(-scale..=scale);
+        }
+    }
+
+    /// One SGD step of squared-error loss `(pred - y)^2` with L2 `reg`.
+    pub fn sgd_pointwise(&mut self, u: UserId, i: ItemId, y: f32, lr: f32, reg: f32) {
+        let err = self.predict(u, i) - y;
+        let r = self.cfg.user_row(u);
+        let ii = i as usize;
+        let dim = self.dim;
+        for d in 0..dim {
+            let pu = self.user[r * dim + d];
+            let qi = self.item[ii * dim + d];
+            self.user[r * dim + d] -= lr * (err * qi + reg * pu);
+            self.item[ii * dim + d] -= lr * (err * pu + reg * qi);
+        }
+        if let Some(b) = self.item_bias.get_mut(ii) {
+            *b -= lr * (err + reg * *b);
+        }
+    }
+
+    /// One SGD step of the BPR pairwise loss `-ln σ(x_ui - x_uj)`.
+    pub fn sgd_bpr(&mut self, u: UserId, i: ItemId, j: ItemId, lr: f32, reg: f32) {
+        let x = self.predict(u, i) - self.predict(u, j);
+        // d/dx [-ln σ(x)] = -(1 - σ(x)) = -σ(-x)
+        let s = tensor::stable_sigmoid(-x);
+        let r = self.cfg.user_row(u);
+        let (ii, jj) = (i as usize, j as usize);
+        let dim = self.dim;
+        for d in 0..dim {
+            let pu = self.user[r * dim + d];
+            let qi = self.item[ii * dim + d];
+            let qj = self.item[jj * dim + d];
+            self.user[r * dim + d] += lr * (s * (qi - qj) - reg * pu);
+            self.item[ii * dim + d] += lr * (s * pu - reg * qi);
+            self.item[jj * dim + d] += lr * (-s * pu - reg * qj);
+        }
+        if !self.item_bias.is_empty() {
+            self.item_bias[ii] += lr * (s - reg * self.item_bias[ii]);
+            self.item_bias[jj] += lr * (-s - reg * self.item_bias[jj]);
+        }
+    }
+}

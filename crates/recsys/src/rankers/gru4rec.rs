@@ -1,0 +1,315 @@
+//! GRU4Rec (Hidasi et al., 2016): session-based recommendation with a
+//! GRU over the click sequence, paper testbed #7. The next click is
+//! predicted from the recurrent state; training uses the classic
+//! in-batch negative trick (each row's positive serves as the other
+//! rows' negative) plus a few uniformly sampled extras.
+//!
+//! This ranker is *order-sensitive*, which is why bag-of-clicks attacks
+//! (e.g. AppGrad) underperform on it in the paper.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tensor::nn::GruCell;
+use tensor::optim::{Optimizer, Sgd};
+use tensor::{GradStore, Graph, Matrix, ParamId, ParamSet};
+
+use crate::data::{ItemId, LogView, UserId};
+use crate::rankers::common::EmbeddingConfig;
+use crate::rankers::Ranker;
+
+/// GRU4Rec hyperparameters.
+#[derive(Copy, Clone, Debug)]
+pub struct Gru4RecConfig {
+    pub dim: usize,
+    pub lr: f32,
+    /// Maximum context length fed to the GRU.
+    pub max_len: usize,
+    /// Extra uniform negatives added to the in-batch candidates.
+    pub extra_negatives: usize,
+    pub batch: usize,
+    pub epochs: usize,
+    /// Cap on training windows per full-fit epoch (subsampled).
+    pub max_windows: usize,
+    pub ft_epochs: usize,
+    /// Organic windows replayed per fine-tune epoch.
+    pub ft_replay: usize,
+    pub init_scale: f32,
+}
+
+impl Default for Gru4RecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 16,
+            lr: 0.08,
+            max_len: 6,
+            extra_negatives: 16,
+            batch: 48,
+            epochs: 2,
+            max_windows: 30_000,
+            ft_epochs: 2,
+            ft_replay: 600,
+            init_scale: 0.08,
+        }
+    }
+}
+
+/// A `(context, next-item)` training window.
+type Window = (Vec<ItemId>, ItemId);
+
+/// Session-based GRU ranker.
+#[derive(Clone)]
+pub struct Gru4Rec {
+    cfg: Gru4RecConfig,
+    emb: EmbeddingConfig,
+    state: Option<GruState>,
+}
+
+#[derive(Clone)]
+struct GruState {
+    params: ParamSet,
+    item_emb: ParamId,
+    cell: GruCell,
+}
+
+impl Gru4Rec {
+    pub fn new(cfg: Gru4RecConfig, emb: EmbeddingConfig) -> Self {
+        Self {
+            cfg,
+            emb,
+            state: None,
+        }
+    }
+
+    /// All `(context, next)` windows of one sequence, contexts
+    /// truncated to `max_len`.
+    fn windows_of(&self, seq: &[ItemId], out: &mut Vec<Window>) {
+        for t in 1..seq.len() {
+            let lo = t.saturating_sub(self.cfg.max_len);
+            out.push((seq[lo..t].to_vec(), seq[t]));
+        }
+    }
+
+    /// Runs the GRU over a batch of same-length contexts; returns the
+    /// final hidden state node.
+    fn encode(state: &GruState, g: &mut Graph<'_>, contexts: &[&[ItemId]]) -> tensor::Var {
+        let len = contexts[0].len();
+        debug_assert!(contexts.iter().all(|c| c.len() == len));
+        let mut h = state.cell.zero_state(g, contexts.len());
+        for t in 0..len {
+            let step_items: Vec<u32> = contexts.iter().map(|c| c[t]).collect();
+            let x = g.gather(state.item_emb, &step_items);
+            h = state.cell.step(g, x, h);
+        }
+        h
+    }
+
+    fn train_windows(&mut self, windows: &mut [Window], rng: &mut StdRng) {
+        let cfg = self.cfg;
+        // Negatives come from original items only (see
+        // `common::sample_negative` for the rationale).
+        let originals = self.emb.num_items;
+        let state = self.state.as_mut().expect("fitted");
+        let mut opt = Sgd::new(cfg.lr);
+        let mut grads = GradStore::zeros_like(&state.params);
+
+        // Group by context length so each batch is rectangular.
+        windows.shuffle(rng);
+        windows.sort_by_key(|(c, _)| c.len());
+        let mut start = 0;
+        while start < windows.len() {
+            let len = windows[start].0.len();
+            let mut end = start;
+            while end < windows.len() && windows[end].0.len() == len && end - start < cfg.batch {
+                end += 1;
+            }
+            let batch = &windows[start..end];
+            start = end;
+            if len == 0 {
+                continue;
+            }
+
+            // Candidate items: batch positives + sampled extras.
+            let mut cands: Vec<u32> = batch.iter().map(|&(_, next)| next).collect();
+            for _ in 0..cfg.extra_negatives {
+                cands.push(rng.gen_range(0..originals));
+            }
+            let contexts: Vec<&[ItemId]> = batch.iter().map(|(c, _)| c.as_slice()).collect();
+            let labels: Vec<u32> = (0..batch.len() as u32).collect();
+            {
+                let mut g = Graph::new(&state.params);
+                let h = Self::encode(state, &mut g, &contexts);
+                let cand_emb = g.gather(state.item_emb, &cands);
+                let logits = g.matmul_t(h, cand_emb);
+                let lp = g.log_softmax_rows(logits);
+                let picked = g.pick_per_row(lp, &labels);
+                let mean_lp = g.mean_all(picked);
+                let loss = g.scale(mean_lp, -1.0);
+                g.backward(loss, &mut grads);
+            }
+            opt.step(&mut state.params, &grads);
+            grads.zero();
+        }
+    }
+
+    fn organic_windows(&self, view: &LogView<'_>, cap: usize, rng: &mut StdRng) -> Vec<Window> {
+        let mut windows = Vec::new();
+        for user in 0..view.base().num_users() {
+            self.windows_of(view.base().sequence(user), &mut windows);
+        }
+        if windows.len() > cap {
+            windows.shuffle(rng);
+            windows.truncate(cap);
+        }
+        windows
+    }
+}
+
+impl Ranker for Gru4Rec {
+    fn name(&self) -> &'static str {
+        "GRU4Rec"
+    }
+
+    fn fit(&mut self, view: &LogView<'_>, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let item_emb = params.add(
+            "item_emb",
+            Matrix::uniform(
+                self.emb.catalog as usize,
+                self.cfg.dim,
+                self.cfg.init_scale,
+                &mut rng,
+            ),
+        );
+        let cell = GruCell::new(&mut params, "gru", self.cfg.dim, self.cfg.dim, &mut rng);
+        self.state = Some(GruState {
+            params,
+            item_emb,
+            cell,
+        });
+        for _ in 0..self.cfg.epochs {
+            let mut windows = self.organic_windows(view, self.cfg.max_windows, &mut rng);
+            // Poison present at fit time (rare) is included too.
+            for traj in view.poison() {
+                self.windows_of(traj, &mut windows);
+            }
+            self.train_windows(&mut windows, &mut rng);
+        }
+    }
+
+    fn fine_tune(&mut self, view: &LogView<'_>, seed: u64) {
+        assert!(
+            self.state.is_some(),
+            "Gru4Rec::fit must run before fine_tune"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..self.cfg.ft_epochs {
+            let mut windows = Vec::new();
+            for traj in view.poison() {
+                self.windows_of(traj, &mut windows);
+            }
+            let mut replay = self.organic_windows(view, self.cfg.ft_replay, &mut rng);
+            windows.append(&mut replay);
+            self.train_windows(&mut windows, &mut rng);
+        }
+    }
+
+    fn score(&self, _user: UserId, history: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        let state = self
+            .state
+            .as_ref()
+            .expect("Gru4Rec::fit must run before score");
+        if history.is_empty() {
+            return vec![0.0; candidates.len()];
+        }
+        let lo = history.len().saturating_sub(self.cfg.max_len);
+        let context = &history[lo..];
+        let mut g = Graph::new(&state.params);
+        let h = Self::encode(state, &mut g, &[context]);
+        let cand_emb = g.gather(state.item_emb, candidates);
+        let logits = g.matmul_t(h, cand_emb);
+        g.value(logits).data().to_vec()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Ranker> {
+        Box::new(self.clone())
+    }
+
+    fn item_embeddings(&self) -> Option<Matrix> {
+        let state = self.state.as_ref()?;
+        Some(state.params.get(state.item_emb).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    /// Deterministic Markov chains: item i is always followed by i+1
+    /// within a cycle of 10.
+    fn sequential() -> Dataset {
+        let mut histories = Vec::new();
+        for u in 0..50u32 {
+            let start = u % 10;
+            let h: Vec<u32> = (0..8).map(|t| (start + t) % 10).collect();
+            histories.push(h);
+        }
+        Dataset::from_histories("sequential", histories, 10, 2)
+    }
+
+    #[test]
+    fn learns_successor_structure() {
+        let d = sequential();
+        let view = LogView::clean(&d);
+        let mut r = Gru4Rec::new(
+            Gru4RecConfig {
+                epochs: 25,
+                ..Gru4RecConfig::default()
+            },
+            EmbeddingConfig::for_view(&view, 4),
+        );
+        r.fit(&view, 3);
+        // After history [..., 3, 4], item 5 must beat a non-successor.
+        let s = r.score(0, &[2, 3, 4], &[5, 9]);
+        assert!(s[0] > s[1], "successor not preferred: {s:?}");
+    }
+
+    #[test]
+    fn empty_history_scores_zero() {
+        let d = sequential();
+        let view = LogView::clean(&d);
+        let mut r = Gru4Rec::new(
+            Gru4RecConfig::default(),
+            EmbeddingConfig::for_view(&view, 4),
+        );
+        r.fit(&view, 3);
+        assert_eq!(r.score(0, &[], &[1, 2]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sequential_poison_inserts_target_as_successor() {
+        let d = sequential();
+        let view = LogView::clean(&d);
+        let mut r = Gru4Rec::new(
+            Gru4RecConfig {
+                epochs: 15,
+                ..Gru4RecConfig::default()
+            },
+            EmbeddingConfig::for_view(&view, 8),
+        );
+        r.fit(&view, 3);
+        let target = 10;
+        let before = r.score(0, &[2, 3, 4], &[target])[0];
+        // Attackers repeatedly play "4 then target".
+        let poison: Vec<Vec<ItemId>> = (0..8)
+            .map(|_| vec![4, target, 4, target, 4, target])
+            .collect();
+        let pview = LogView::new(&d, &poison);
+        let mut poisoned = r.clone();
+        poisoned.fine_tune(&pview, 9);
+        let after = poisoned.score(0, &[2, 3, 4], &[target])[0];
+        assert!(after > before, "before={before} after={after}");
+    }
+}

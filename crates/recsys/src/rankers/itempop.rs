@@ -1,0 +1,86 @@
+//! ItemPop: non-personalized popularity ranking (paper testbed #1).
+//! Items are scored by their click count in the (possibly poisoned)
+//! log. The attack surface is blunt but real: enough fake clicks make a
+//! target item look popular.
+
+use crate::data::{ItemId, LogView, UserId};
+use crate::rankers::Ranker;
+
+/// Popularity ranker.
+#[derive(Clone, Debug, Default)]
+pub struct ItemPop {
+    counts: Vec<u32>,
+}
+
+impl ItemPop {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Click count of an item (0 before `fit`).
+    pub fn count(&self, item: ItemId) -> u32 {
+        self.counts.get(item as usize).copied().unwrap_or(0)
+    }
+}
+
+impl Ranker for ItemPop {
+    fn name(&self) -> &'static str {
+        "ItemPop"
+    }
+
+    fn fit(&mut self, view: &LogView<'_>, _seed: u64) {
+        self.counts = view.popularity();
+    }
+
+    fn fine_tune(&mut self, view: &LogView<'_>, seed: u64) {
+        // Counting is exact and cheap; a "fine-tune" is a recount.
+        self.fit(view, seed);
+    }
+
+    fn score(&self, _user: UserId, _history: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        candidates.iter().map(|&c| self.count(c) as f32).collect()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Ranker> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    fn toy() -> Dataset {
+        Dataset::from_histories(
+            "toy",
+            vec![vec![0, 1, 1, 2, 3], vec![1, 0, 2, 3], vec![1, 2, 0, 4]],
+            5,
+            2,
+        )
+    }
+
+    #[test]
+    fn scores_follow_counts() {
+        let d = toy();
+        let mut r = ItemPop::new();
+        r.fit(&LogView::clean(&d), 0);
+        let s = r.score(0, &[], &[0, 1, 5]);
+        assert!(s[1] > s[0], "item 1 is clicked most");
+        assert_eq!(s[2], 0.0, "targets start unpopular");
+    }
+
+    #[test]
+    fn poison_inflates_target() {
+        let d = toy();
+        let mut r = ItemPop::new();
+        r.fit(&LogView::clean(&d), 0);
+        let before = r.score(0, &[], &[5])[0];
+        let poison = vec![vec![5; 10]];
+        let view = LogView::new(&d, &poison);
+        r.fine_tune(&view, 0);
+        let after = r.score(0, &[], &[5])[0];
+        assert_eq!(before, 0.0);
+        assert_eq!(after, 10.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The eight ranker testbeds of the paper (§IV-A) behind one
+//! object-safe [`Ranker`] trait.
+//!
+//! Every ranker supports two training entry points mirroring the
+//! paper's `DataPoisoning` routine (Algorithm 1):
+//!
+//! * [`Ranker::fit`] — full training on a (usually clean) log; expensive,
+//!   done once per dataset and cached by the harness.
+//! * [`Ranker::fine_tune`] — warm-start update after fake trajectories
+//!   are injected ("Reload the Ranker R. Update R with D^p"): the model
+//!   keeps its fitted weights and takes a short training pass over the
+//!   poison plus a replay sample of organic data.
+//!
+//! Determinism: both entry points take a `seed`; identical
+//! `(state, view, seed)` yields identical models.
+
+mod autorec;
+mod bpr;
+pub mod common;
+mod covisit;
+mod gru4rec;
+mod itempop;
+mod neumf;
+mod ngcf;
+mod pmf;
+
+pub use autorec::{AutoRec, AutoRecConfig};
+pub use bpr::{Bpr, BprConfig};
+pub use common::EmbeddingConfig;
+pub use covisit::CoVisitation;
+pub use gru4rec::{Gru4Rec, Gru4RecConfig};
+pub use itempop::ItemPop;
+pub use neumf::{NeuMf, NeuMfConfig};
+pub use ngcf::{Ngcf, NgcfConfig};
+pub use pmf::{Pmf, PmfConfig};
+
+use crate::data::{ItemId, LogView, UserId};
+
+/// A recommendation model that can be (re)trained on an interaction log
+/// and asked to score candidate items for a user.
+pub trait Ranker: Send {
+    /// Short algorithm name, e.g. `"BPR"`.
+    fn name(&self) -> &'static str;
+
+    /// Full training from the current (possibly fresh) state.
+    fn fit(&mut self, view: &LogView<'_>, seed: u64);
+
+    /// Warm-start update after poison injection.
+    fn fine_tune(&mut self, view: &LogView<'_>, seed: u64);
+
+    /// Preference scores for `candidates`, higher = more preferred.
+    /// `history` is the user's organic click sequence (used by
+    /// sequence- and item-based models).
+    fn score(&self, user: UserId, history: &[ItemId], candidates: &[ItemId]) -> Vec<f32>;
+
+    /// Clone through the trait object (the harness snapshots the clean
+    /// model before every attack evaluation).
+    fn boxed_clone(&self) -> Box<dyn Ranker>;
+
+    /// The learned item-id embedding table (`catalog x dim`), if the
+    /// model has one. Drives the paper's Figure 6 t-SNE plots; models
+    /// without item embeddings (ItemPop, CoVisitation, AutoRec) return
+    /// `None` and the paper reuses PMF's embeddings for them.
+    fn item_embeddings(&self) -> Option<tensor::Matrix> {
+        None
+    }
+}
+
+impl Clone for Box<dyn Ranker> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+/// Factory over all eight algorithms, mirroring the paper's testbed
+/// list in order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RankerKind {
+    ItemPop,
+    CoVisitation,
+    Pmf,
+    Bpr,
+    NeuMf,
+    AutoRec,
+    Gru4Rec,
+    Ngcf,
+}
+
+impl RankerKind {
+    /// All testbeds in the paper's column order (Table III).
+    pub const ALL: [RankerKind; 8] = [
+        RankerKind::ItemPop,
+        RankerKind::CoVisitation,
+        RankerKind::Pmf,
+        RankerKind::Bpr,
+        RankerKind::NeuMf,
+        RankerKind::AutoRec,
+        RankerKind::Gru4Rec,
+        RankerKind::Ngcf,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RankerKind::ItemPop => "ItemPop",
+            RankerKind::CoVisitation => "CoVisitation",
+            RankerKind::Pmf => "PMF",
+            RankerKind::Bpr => "BPR",
+            RankerKind::NeuMf => "NeuMF",
+            RankerKind::AutoRec => "AutoRec",
+            RankerKind::Gru4Rec => "GRU4Rec",
+            RankerKind::Ngcf => "NGCF",
+        }
+    }
+
+    /// Parses the (case-insensitive) ranker name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Instantiates an untrained ranker with default hyperparameters
+    /// sized for `view` (embedding tables reserve room for
+    /// `reserve_attackers` injected accounts).
+    pub fn build(self, view: &LogView<'_>, reserve_attackers: u32) -> Box<dyn Ranker> {
+        let emb = EmbeddingConfig::for_view(view, reserve_attackers);
+        match self {
+            RankerKind::ItemPop => Box::new(ItemPop::new()),
+            RankerKind::CoVisitation => Box::new(CoVisitation::new()),
+            RankerKind::Pmf => Box::new(Pmf::new(PmfConfig::default(), emb)),
+            RankerKind::Bpr => Box::new(Bpr::new(BprConfig::default(), emb)),
+            RankerKind::NeuMf => Box::new(NeuMf::new(NeuMfConfig::default(), emb)),
+            RankerKind::AutoRec => Box::new(AutoRec::new(AutoRecConfig::default(), emb)),
+            RankerKind::Gru4Rec => Box::new(Gru4Rec::new(Gru4RecConfig::default(), emb)),
+            RankerKind::Ngcf => Box::new(Ngcf::new(NgcfConfig::default(), emb)),
+        }
+    }
+}
+
+impl std::fmt::Display for RankerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for kind in RankerKind::ALL {
+            assert_eq!(RankerKind::parse(kind.name()), Some(kind));
+            assert_eq!(RankerKind::parse(&kind.name().to_lowercase()), Some(kind));
+        }
+        assert_eq!(RankerKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,317 @@
+//! NeuMF (He et al., 2017): neural collaborative filtering, paper
+//! testbed #5. Fuses a generalized-matrix-factorization branch
+//! (elementwise product of user/item embeddings) with an MLP branch
+//! (concatenated embeddings through ReLU layers), trained with binary
+//! cross-entropy on sampled negatives — all on the in-repo autodiff.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tensor::nn::{Activation, Linear, Mlp};
+use tensor::optim::{Optimizer, Sgd};
+use tensor::{GradStore, Graph, Matrix, ParamId, ParamSet};
+
+use crate::data::{ItemId, LogView, UserId};
+use crate::rankers::common::{all_pairs, fine_tune_pairs, sample_negative, EmbeddingConfig};
+use crate::rankers::Ranker;
+
+/// NeuMF hyperparameters.
+#[derive(Copy, Clone, Debug)]
+pub struct NeuMfConfig {
+    pub dim: usize,
+    pub lr: f32,
+    pub neg_ratio: usize,
+    pub epochs: usize,
+    pub ft_epochs: usize,
+    pub ft_replay: usize,
+    pub batch: usize,
+    pub init_scale: f32,
+}
+
+impl Default for NeuMfConfig {
+    fn default() -> Self {
+        Self {
+            dim: 16,
+            lr: 0.05,
+            neg_ratio: 4,
+            epochs: 2,
+            ft_epochs: 2,
+            ft_replay: 1500,
+            batch: 256,
+            init_scale: 0.05,
+        }
+    }
+}
+
+/// Neural matrix factorization ranker.
+#[derive(Clone)]
+pub struct NeuMf {
+    cfg: NeuMfConfig,
+    emb: EmbeddingConfig,
+    state: Option<NeuMfState>,
+}
+
+#[derive(Clone)]
+struct NeuMfState {
+    params: ParamSet,
+    gmf_user: ParamId,
+    gmf_item: ParamId,
+    mlp_user: ParamId,
+    mlp_item: ParamId,
+    mlp: Mlp,
+    out: Linear,
+}
+
+impl NeuMf {
+    pub fn new(cfg: NeuMfConfig, emb: EmbeddingConfig) -> Self {
+        Self {
+            cfg,
+            emb,
+            state: None,
+        }
+    }
+
+    fn init_state(&self, rng: &mut StdRng) -> NeuMfState {
+        let d = self.cfg.dim;
+        let users = self.emb.user_rows() as usize;
+        let items = self.emb.catalog as usize;
+        let s = self.cfg.init_scale;
+        let mut params = ParamSet::new();
+        let gmf_user = params.add("gmf_user", Matrix::uniform(users, d, s, rng));
+        let gmf_item = params.add("gmf_item", Matrix::uniform(items, d, s, rng));
+        let mlp_user = params.add("mlp_user", Matrix::uniform(users, d, s, rng));
+        let mlp_item = params.add("mlp_item", Matrix::uniform(items, d, s, rng));
+        let mlp = Mlp::new(
+            &mut params,
+            "mlp",
+            &[2 * d, d, d / 2],
+            Activation::Relu,
+            Activation::Relu,
+            rng,
+        );
+        let out = Linear::new(&mut params, "out", d + d / 2, 1, rng);
+        NeuMfState {
+            params,
+            gmf_user,
+            gmf_item,
+            mlp_user,
+            mlp_item,
+            mlp,
+            out,
+        }
+    }
+
+    /// Builds logits for a batch of (user, item) pairs.
+    fn logits(state: &NeuMfState, g: &mut Graph<'_>, users: &[u32], items: &[u32]) -> tensor::Var {
+        let gu = g.gather(state.gmf_user, users);
+        let gi = g.gather(state.gmf_item, items);
+        let gmf = g.mul(gu, gi);
+        let mu = g.gather(state.mlp_user, users);
+        let mi = g.gather(state.mlp_item, items);
+        let x = g.concat_cols(mu, mi);
+        let mlp_out = state.mlp.forward(g, x);
+        let feat = g.concat_cols(gmf, mlp_out);
+        state.out.forward(g, feat)
+    }
+
+    fn train_pass(&mut self, view: &LogView<'_>, pairs: &[(UserId, ItemId)], rng: &mut StdRng) {
+        let cfg = self.cfg;
+        let emb = self.emb;
+        let state = self.state.as_mut().expect("fitted");
+        let mut opt = Sgd::new(cfg.lr);
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.shuffle(rng);
+
+        let mut users: Vec<u32> = Vec::with_capacity(cfg.batch);
+        let mut items: Vec<u32> = Vec::with_capacity(cfg.batch);
+        let mut labels: Vec<f32> = Vec::with_capacity(cfg.batch);
+        let mut grads = GradStore::zeros_like(&state.params);
+
+        let mut flush = |users: &mut Vec<u32>,
+                         items: &mut Vec<u32>,
+                         labels: &mut Vec<f32>,
+                         state: &mut NeuMfState,
+                         grads: &mut GradStore| {
+            if users.is_empty() {
+                return;
+            }
+            let n = users.len();
+            let targets = Matrix::from_vec(n, 1, std::mem::take(labels));
+            let mask = Matrix::full(n, 1, 1.0);
+            {
+                let mut g = Graph::new(&state.params);
+                let logits = Self::logits(state, &mut g, users, items);
+                let loss = g.bce_with_logits(logits, targets, mask);
+                g.backward(loss, grads);
+            }
+            opt.step(&mut state.params, grads);
+            grads.zero();
+            users.clear();
+            items.clear();
+        };
+
+        for idx in order {
+            let (u, i) = pairs[idx];
+            users.push(emb.user_row(u) as u32);
+            items.push(i);
+            labels.push(1.0);
+            for _ in 0..cfg.neg_ratio {
+                let j = sample_negative(view, u, rng);
+                users.push(emb.user_row(u) as u32);
+                items.push(j);
+                labels.push(0.0);
+            }
+            if users.len() >= cfg.batch {
+                flush(&mut users, &mut items, &mut labels, state, &mut grads);
+            }
+        }
+        flush(&mut users, &mut items, &mut labels, state, &mut grads);
+    }
+
+    fn reset_attacker_rows(&mut self, rng: &mut StdRng) {
+        let scale = self.cfg.init_scale;
+        let start = self.emb.base_users as usize;
+        let state = self.state.as_mut().expect("fitted");
+        for id in [state.gmf_user, state.mlp_user] {
+            let table = state.params.get_mut(id);
+            for r in start..table.rows() {
+                for x in table.row_slice_mut(r) {
+                    *x = rng.gen_range(-scale..=scale);
+                }
+            }
+        }
+    }
+}
+
+impl Ranker for NeuMf {
+    fn name(&self) -> &'static str {
+        "NeuMF"
+    }
+
+    fn fit(&mut self, view: &LogView<'_>, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.state = Some(self.init_state(&mut rng));
+        let pairs = all_pairs(view);
+        for _ in 0..self.cfg.epochs {
+            self.train_pass(view, &pairs, &mut rng);
+        }
+    }
+
+    fn fine_tune(&mut self, view: &LogView<'_>, seed: u64) {
+        assert!(self.state.is_some(), "NeuMf::fit must run before fine_tune");
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.reset_attacker_rows(&mut rng);
+        for _ in 0..self.cfg.ft_epochs {
+            let pairs = fine_tune_pairs(view, self.cfg.ft_replay, &mut rng);
+            self.train_pass(view, &pairs, &mut rng);
+        }
+    }
+
+    fn score(&self, user: UserId, _history: &[ItemId], candidates: &[ItemId]) -> Vec<f32> {
+        let state = self
+            .state
+            .as_ref()
+            .expect("NeuMf::fit must run before score");
+        let row = self.emb.user_row(user) as u32;
+        let users = vec![row; candidates.len()];
+        let mut g = Graph::new(&state.params);
+        let logits = Self::logits(state, &mut g, &users, candidates);
+        g.value(logits).data().to_vec()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Ranker> {
+        Box::new(self.clone())
+    }
+
+    fn item_embeddings(&self) -> Option<Matrix> {
+        let state = self.state.as_ref()?;
+        Some(state.params.get(state.gmf_item).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    fn clustered() -> Dataset {
+        let mut histories = Vec::new();
+        for u in 0..60u32 {
+            let offset = if u < 30 { 0 } else { 10 };
+            let h: Vec<u32> = (0..8).map(|t| offset + ((u + t) % 10)).collect();
+            histories.push(h);
+        }
+        Dataset::from_histories("clustered", histories, 20, 2)
+    }
+
+    #[test]
+    fn learns_cluster_structure() {
+        let d = clustered();
+        let view = LogView::clean(&d);
+        let mut r = NeuMf::new(
+            NeuMfConfig {
+                dim: 8,
+                epochs: 10,
+                ..NeuMfConfig::default()
+            },
+            EmbeddingConfig::for_view(&view, 4),
+        );
+        r.fit(&view, 3);
+        let mut in_cluster = 0.0;
+        let mut out_cluster = 0.0;
+        for u in 0..5u32 {
+            let seen = d.sequence(u);
+            for i in 0..10u32 {
+                if !seen.contains(&i) {
+                    in_cluster += r.score(u, &[], &[i])[0];
+                    out_cluster += r.score(u, &[], &[i + 10])[0];
+                }
+            }
+        }
+        assert!(
+            in_cluster > out_cluster,
+            "in={in_cluster} out={out_cluster}"
+        );
+    }
+
+    /// Mean rank (0 = best) of `target` among all original items,
+    /// averaged over users 0..10. Absolute logits drift during
+    /// fine-tuning; rank is what decides RecNum.
+    fn mean_target_rank(r: &NeuMf) -> f32 {
+        let candidates: Vec<ItemId> = (0..21).collect(); // 20 originals + target
+        let mut total = 0.0;
+        for u in 0..10u32 {
+            let scores = r.score(u, &[], &candidates);
+            let target_score = scores[20];
+            total += scores[..20].iter().filter(|&&s| s > target_score).count() as f32;
+        }
+        total / 10.0
+    }
+
+    #[test]
+    fn target_only_poison_raises_target_rank() {
+        // The paper finds clicking only the target is an effective
+        // NeuMF attack; verify the mechanism exists.
+        let d = clustered();
+        let view = LogView::clean(&d);
+        let mut r = NeuMf::new(NeuMfConfig::default(), EmbeddingConfig::for_view(&view, 4));
+        r.fit(&view, 3);
+        let target = 20;
+        let before = mean_target_rank(&r);
+        let poison: Vec<Vec<ItemId>> = (0..4).map(|_| vec![target; 20]).collect();
+        let pview = LogView::new(&d, &poison);
+        let mut poisoned = r.clone();
+        poisoned.fine_tune(&pview, 9);
+        let after = mean_target_rank(&poisoned);
+        assert!(after < before, "rank before={before} after={after}");
+    }
+
+    #[test]
+    fn score_is_deterministic() {
+        let d = clustered();
+        let view = LogView::clean(&d);
+        let mut r = NeuMf::new(NeuMfConfig::default(), EmbeddingConfig::for_view(&view, 4));
+        r.fit(&view, 5);
+        assert_eq!(r.score(1, &[], &[0, 5, 21]), r.score(1, &[], &[0, 5, 21]));
+    }
+}

@@ -1,0 +1,237 @@
+//! The black-box recommender system as the attacker sees it.
+//!
+//! [`BlackBoxSystem`] wraps a dataset, a fitted ranker, and the
+//! evaluation protocol, exposing exactly the interface the paper's
+//! threat model allows:
+//!
+//! * [`BlackBoxSystem::inject_and_observe`] — hand over fake
+//!   trajectories, get back the resulting *RecNum*. Internally this is
+//!   the paper's `DataPoisoning` routine: the clean ranker is snapshot-
+//!   cloned, warm-updated with the poisoned log, and polled for
+//!   recommendations. Nothing about the ranker leaks out.
+//! * [`BlackBoxSystem::public_info`] — item count, target ids, and item
+//!   popularity (the paper allows crawling "basic item information like
+//!   item popularity").
+
+use crate::data::{Dataset, ItemId, LogView, Trajectory};
+use crate::eval::EvalProtocol;
+use crate::rankers::{common::child_seed, Ranker};
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Users polled when measuring RecNum.
+    pub eval_users: usize,
+    /// Recommendation list length `k`.
+    pub top_k: usize,
+    /// Random original items per candidate set (92 in the paper).
+    pub n_candidates: usize,
+    /// Master seed for fitting, fine-tuning, and evaluation.
+    pub seed: u64,
+    /// Attacker accounts the embedding tables reserve room for.
+    pub reserve_attackers: u32,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            eval_users: 256,
+            top_k: 10,
+            n_candidates: 92,
+            seed: 17,
+            reserve_attackers: 64,
+        }
+    }
+}
+
+/// What the paper allows an attacker to crawl about the system.
+#[derive(Clone, Debug)]
+pub struct PublicInfo {
+    /// Number of original items `|I|`.
+    pub num_items: u32,
+    /// The target item ids the attacker wants promoted.
+    pub target_items: Vec<ItemId>,
+    /// Per-item popularity (sales volume), length `|I| + |I_t|`.
+    pub popularity: Vec<u32>,
+}
+
+/// A dataset + fitted clean ranker + evaluation protocol, exposing only
+/// black-box poisoning access.
+pub struct BlackBoxSystem {
+    base: Dataset,
+    clean: Box<dyn Ranker>,
+    protocol: EvalProtocol,
+    cfg: SystemConfig,
+    /// Monotone counter so successive observations fine-tune with
+    /// fresh (but reproducible) randomness.
+    observation: std::cell::Cell<u64>,
+}
+
+impl BlackBoxSystem {
+    /// Fits `ranker` on the clean dataset and freezes the snapshot.
+    pub fn build(base: Dataset, mut ranker: Box<dyn Ranker>, cfg: SystemConfig) -> Self {
+        let view = LogView::clean(&base);
+        ranker.fit(&view, child_seed(cfg.seed, 1));
+        let protocol = EvalProtocol::sample(&base, cfg.eval_users, child_seed(cfg.seed, 2))
+            .with_list_shape(cfg.top_k, cfg.n_candidates);
+        Self {
+            base,
+            clean: ranker,
+            protocol,
+            cfg,
+            observation: std::cell::Cell::new(0),
+        }
+    }
+
+    pub fn base(&self) -> &Dataset {
+        &self.base
+    }
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    pub fn protocol(&self) -> &EvalProtocol {
+        &self.protocol
+    }
+
+    /// Name of the deployed ranker (the experimenter knows it; the
+    /// attack agent never reads it).
+    pub fn ranker_name(&self) -> &'static str {
+        self.clean.name()
+    }
+
+    /// Crawlable item metadata (threat-model §III-A2).
+    pub fn public_info(&self) -> PublicInfo {
+        PublicInfo {
+            num_items: self.base.num_items(),
+            target_items: self.base.target_items().collect(),
+            popularity: self.base.popularity(),
+        }
+    }
+
+    /// RecNum of the *clean* system (usually 0: targets are new items).
+    pub fn clean_rec_num(&self) -> u32 {
+        self.protocol.rec_num(&*self.clean, &self.base)
+    }
+
+    /// Upper bound on RecNum under this protocol.
+    pub fn max_rec_num(&self) -> u32 {
+        self.protocol.max_rec_num(&self.base)
+    }
+
+    /// The paper's `DataPoisoning(D^p)` + RecNum observation: injects
+    /// `poison`, retrains (warm start from the clean snapshot), and
+    /// returns the number of page views of the target set.
+    ///
+    /// Each call uses a fresh deterministic seed stream, so repeated
+    /// observations of the same poison differ only by retraining noise
+    /// — exactly the stochastic reward the RL agent must cope with.
+    pub fn inject_and_observe(&self, poison: &[Trajectory]) -> u32 {
+        assert!(
+            poison.len() as u32 <= self.cfg.reserve_attackers,
+            "{} attackers injected but only {} reserved",
+            poison.len(),
+            self.cfg.reserve_attackers
+        );
+        let obs = self.observation.get();
+        self.observation.set(obs + 1);
+        self.inject_and_observe_seeded(poison, child_seed(self.cfg.seed, 1000 + obs))
+    }
+
+    /// Deterministic variant used by tests and variance studies.
+    pub fn inject_and_observe_seeded(&self, poison: &[Trajectory], seed: u64) -> u32 {
+        let mut ranker = self.clean.boxed_clone();
+        let view = LogView::new(&self.base, poison);
+        ranker.fine_tune(&view, seed);
+        self.protocol.rec_num(&*ranker, &self.base)
+    }
+
+    /// Full poisoned recommendation lists for analysis (not available
+    /// to the attacker; used by the experiment harness for figures).
+    pub fn poisoned_recommendations(
+        &self,
+        poison: &[Trajectory],
+        seed: u64,
+    ) -> Vec<(u32, Vec<ItemId>)> {
+        let mut ranker = self.clean.boxed_clone();
+        let view = LogView::new(&self.base, poison);
+        ranker.fine_tune(&view, seed);
+        self.protocol
+            .eval_users()
+            .iter()
+            .map(|&u| (u, self.protocol.recommend(&*ranker, &self.base, u)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rankers::ItemPop;
+
+    fn toy() -> Dataset {
+        let histories = (0..30u32)
+            .map(|u| (0..6).map(|t| (u + t * 3) % 40).collect())
+            .collect();
+        Dataset::from_histories("toy", histories, 40, 8)
+    }
+
+    fn small_cfg() -> SystemConfig {
+        SystemConfig {
+            eval_users: 16,
+            reserve_attackers: 8,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_system_never_recommends_targets() {
+        let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+        assert_eq!(sys.clean_rec_num(), 0);
+    }
+
+    #[test]
+    fn poisoning_itempop_promotes_target() {
+        let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+        let target = sys.public_info().target_items[0];
+        let poison: Vec<Trajectory> = (0..8).map(|_| vec![target; 20]).collect();
+        let rec_num = sys.inject_and_observe(&poison);
+        assert!(
+            rec_num > 0,
+            "160 fake clicks should out-popularity a toy catalog"
+        );
+        assert!(rec_num <= sys.max_rec_num());
+    }
+
+    #[test]
+    fn observation_is_repeatable_with_fixed_seed() {
+        let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+        let target = sys.public_info().target_items[0];
+        let poison: Vec<Trajectory> = vec![vec![target; 20]];
+        let a = sys.inject_and_observe_seeded(&poison, 5);
+        let b = sys.inject_and_observe_seeded(&poison, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn too_many_attackers_panics() {
+        let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+        let poison: Vec<Trajectory> = (0..9).map(|_| vec![0]).collect();
+        let _ = sys.inject_and_observe(&poison);
+    }
+
+    #[test]
+    fn public_info_matches_dataset() {
+        let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+        let info = sys.public_info();
+        assert_eq!(info.num_items, 40);
+        assert_eq!(info.target_items.len(), 8);
+        assert_eq!(info.popularity.len(), 48);
+        assert!(info
+            .target_items
+            .iter()
+            .all(|&t| info.popularity[t as usize] == 0));
+    }
+}

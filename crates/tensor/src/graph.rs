@@ -1,0 +1,713 @@
+//! Tape-based reverse-mode automatic differentiation over dense
+//! matrices.
+//!
+//! A [`Graph`] is rebuilt for every forward pass (define-by-run). Every
+//! operation evaluates eagerly and records enough information on the
+//! tape to compute vector-Jacobian products in a single reverse sweep.
+//! Gradients of [`crate::ParamSet`] parameters accumulate into a
+//! [`crate::GradStore`], so multiple `backward` calls (e.g. one per
+//! sampled trajectory) naturally sum their gradients.
+//!
+//! Only the operations needed by the PoisonRec reproduction are
+//! implemented, each verified against central finite differences in the
+//! test suite.
+
+use std::sync::Arc;
+
+use crate::matrix::Matrix;
+use crate::params::{GradStore, ParamId, ParamSet};
+use crate::sparse::Csr;
+
+/// Handle to a node on the tape.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    /// External constant input; no gradient propagates past it.
+    Input,
+    /// A full parameter matrix.
+    Param(ParamId),
+    /// Row-gather from a parameter (embedding lookup).
+    Gather(ParamId, Vec<u32>),
+    /// Row-gather from another tape node.
+    GatherVar(Var, Vec<u32>),
+    MatMul(Var, Var),
+    /// `a * b^T` — logits against an embedding table.
+    MatMulT(Var, Var),
+    /// Same-shape addition, or `b` is a `1 x cols` row broadcast over
+    /// the rows of `a`.
+    Add(Var, Var),
+    Sub(Var, Var),
+    /// Elementwise product (same shapes).
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Softplus(Var),
+    ConcatCols(Var, Var),
+    ConcatRows(Var, Var),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Row-wise log-softmax.
+    LogSoftmaxRows(Var),
+    /// Picks `x[r, idx[r]]` for every row into an `rows x 1` column.
+    PickPerRow(Var, Vec<u32>),
+    /// `sparse * dense`; the sparse operand is constant.
+    SpMM(Arc<Csr>, Var),
+    /// Mean binary cross-entropy with logits, weighted by `mask`.
+    BceWithLogits {
+        logits: Var,
+        targets: Matrix,
+        mask: Matrix,
+    },
+    /// Mean squared error restricted to `mask` entries.
+    MseMasked {
+        pred: Var,
+        targets: Matrix,
+        mask: Matrix,
+    },
+    /// Sum of squared entries (L2 regularizer building block).
+    SqSum(Var),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Define-by-run autodiff tape borrowing a [`ParamSet`].
+pub struct Graph<'p> {
+    params: &'p ParamSet,
+    nodes: Vec<Node>,
+}
+
+impl<'p> Graph<'p> {
+    pub fn new(params: &'p ParamSet) -> Self {
+        Self {
+            params,
+            nodes: Vec::with_capacity(64),
+        }
+    }
+
+    /// Number of tape nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    // ---- leaf constructors -------------------------------------------------
+
+    /// Registers an external constant.
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Brings a whole parameter matrix onto the tape.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let value = self.params.get(id).clone();
+        self.push(value, Op::Param(id))
+    }
+
+    /// Embedding lookup: gathers `indices` rows of parameter `id`.
+    pub fn gather(&mut self, id: ParamId, indices: &[u32]) -> Var {
+        let table = self.params.get(id);
+        let cols = table.cols();
+        let mut value = Matrix::zeros(indices.len(), cols);
+        for (r, &idx) in indices.iter().enumerate() {
+            value
+                .row_slice_mut(r)
+                .copy_from_slice(table.row_slice(idx as usize));
+        }
+        self.push(value, Op::Gather(id, indices.to_vec()))
+    }
+
+    /// Gathers `indices` rows of an existing node (e.g. propagated
+    /// embeddings in a graph neural network).
+    pub fn gather_var(&mut self, src: Var, indices: &[u32]) -> Var {
+        let table = &self.nodes[src.0].value;
+        let cols = table.cols();
+        let mut value = Matrix::zeros(indices.len(), cols);
+        for (r, &idx) in indices.iter().enumerate() {
+            value
+                .row_slice_mut(r)
+                .copy_from_slice(table.row_slice(idx as usize));
+        }
+        self.push(value, Op::GatherVar(src, indices.to_vec()))
+    }
+
+    // ---- arithmetic --------------------------------------------------------
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// `a * b^T`.
+    pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul_t(&self.nodes[b.0].value);
+        self.push(value, Op::MatMulT(a, b))
+    }
+
+    /// Same-shape addition, or row-broadcast when `b` is `1 x cols`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        let value = if (ar, ac) == (br, bc) {
+            let mut m = self.nodes[a.0].value.clone();
+            m.axpy(1.0, &self.nodes[b.0].value);
+            m
+        } else {
+            assert!(
+                br == 1 && bc == ac,
+                "add broadcast mismatch: {ar}x{ac} + {br}x{bc}"
+            );
+            let bvals = self.nodes[b.0].value.clone();
+            let mut m = self.nodes[a.0].value.clone();
+            for r in 0..ar {
+                for (x, &y) in m.row_slice_mut(r).iter_mut().zip(bvals.data()) {
+                    *x += y;
+                }
+            }
+            m
+        };
+        self.push(value, Op::Add(a, b))
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "sub shape mismatch");
+        let mut m = self.nodes[a.0].value.clone();
+        m.axpy(-1.0, &self.nodes[b.0].value);
+        self.push(m, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "mul shape mismatch");
+        let bv = &self.nodes[b.0].value;
+        let value = Matrix::from_vec(
+            bv.rows(),
+            bv.cols(),
+            self.nodes[a.0]
+                .value
+                .data()
+                .iter()
+                .zip(bv.data())
+                .map(|(&x, &y)| x * y)
+                .collect(),
+        );
+        self.push(value, Op::Mul(a, b))
+    }
+
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x * alpha);
+        self.push(value, Op::Scale(a, alpha))
+    }
+
+    pub fn add_scalar(&mut self, a: Var, beta: f32) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x + beta);
+        self.push(value, Op::AddScalar(a))
+    }
+
+    // ---- activations -------------------------------------------------------
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let value = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(value, Op::LeakyRelu(a, slope))
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(stable_sigmoid);
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Numerically-stable `ln(1 + e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(stable_softplus);
+        self.push(value, Op::Softplus(a))
+    }
+
+    // ---- structure ---------------------------------------------------------
+
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ar, br, "concat_cols row mismatch");
+        let mut value = Matrix::zeros(ar, ac + bc);
+        for r in 0..ar {
+            value.row_slice_mut(r)[..ac].copy_from_slice(self.nodes[a.0].value.row_slice(r));
+            value.row_slice_mut(r)[ac..].copy_from_slice(self.nodes[b.0].value.row_slice(r));
+        }
+        self.push(value, Op::ConcatCols(a, b))
+    }
+
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ac, bc, "concat_rows col mismatch");
+        let mut data = Vec::with_capacity((ar + br) * ac);
+        data.extend_from_slice(self.nodes[a.0].value.data());
+        data.extend_from_slice(self.nodes[b.0].value.data());
+        self.push(Matrix::from_vec(ar + br, ac, data), Op::ConcatRows(a, b))
+    }
+
+    // ---- reductions & losses ----------------------------------------------
+
+    /// `1 x 1` sum of all entries.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.sum();
+        self.push(Matrix::from_vec(1, 1, vec![s]), Op::SumAll(a))
+    }
+
+    /// `1 x 1` mean of all entries.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = &self.nodes[a.0].value;
+        let s = v.sum() / v.len() as f32;
+        self.push(Matrix::from_vec(1, 1, vec![s]), Op::MeanAll(a))
+    }
+
+    /// `1 x 1` sum of squared entries.
+    pub fn sq_sum(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.sq_norm();
+        self.push(Matrix::from_vec(1, 1, vec![s]), Op::SqSum(a))
+    }
+
+    /// Row-wise log-softmax (stable).
+    pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let v = &self.nodes[a.0].value;
+        let mut out = v.clone();
+        for r in 0..out.rows() {
+            let row = out.row_slice_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+            for x in row {
+                *x -= lse;
+            }
+        }
+        self.push(out, Op::LogSoftmaxRows(a))
+    }
+
+    /// Picks one entry per row: `out[r, 0] = a[r, idx[r]]`.
+    pub fn pick_per_row(&mut self, a: Var, indices: &[u32]) -> Var {
+        let v = &self.nodes[a.0].value;
+        assert_eq!(v.rows(), indices.len(), "pick_per_row length mismatch");
+        let data = indices
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| v.at(r, c as usize))
+            .collect();
+        self.push(
+            Matrix::from_vec(indices.len(), 1, data),
+            Op::PickPerRow(a, indices.to_vec()),
+        )
+    }
+
+    /// `sparse * dense`; gradient flows only to the dense operand.
+    pub fn spmm(&mut self, sparse: Arc<Csr>, dense: Var) -> Var {
+        let value = sparse.spmm(&self.nodes[dense.0].value);
+        self.push(value, Op::SpMM(sparse, dense))
+    }
+
+    /// Mean binary cross-entropy with logits over entries where
+    /// `mask != 0` (mask entries act as weights).
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Matrix, mask: Matrix) -> Var {
+        let x = &self.nodes[logits.0].value;
+        assert_eq!(x.shape(), targets.shape(), "bce target shape");
+        assert_eq!(x.shape(), mask.shape(), "bce mask shape");
+        let total_mask: f32 = mask.sum();
+        let denom = if total_mask > 0.0 { total_mask } else { 1.0 };
+        let mut loss = 0.0;
+        for ((&xv, &yv), &mv) in x.data().iter().zip(targets.data()).zip(mask.data()) {
+            if mv != 0.0 {
+                // max(x,0) - x*y + ln(1 + e^{-|x|})
+                loss += mv * (xv.max(0.0) - xv * yv + stable_softplus(-xv.abs()));
+            }
+        }
+        let value = Matrix::from_vec(1, 1, vec![loss / denom]);
+        self.push(
+            value,
+            Op::BceWithLogits {
+                logits,
+                targets,
+                mask,
+            },
+        )
+    }
+
+    /// Mean squared error over entries where `mask != 0`.
+    pub fn mse_masked(&mut self, pred: Var, targets: Matrix, mask: Matrix) -> Var {
+        let x = &self.nodes[pred.0].value;
+        assert_eq!(x.shape(), targets.shape(), "mse target shape");
+        assert_eq!(x.shape(), mask.shape(), "mse mask shape");
+        let total_mask: f32 = mask.sum();
+        let denom = if total_mask > 0.0 { total_mask } else { 1.0 };
+        let mut loss = 0.0;
+        for ((&xv, &yv), &mv) in x.data().iter().zip(targets.data()).zip(mask.data()) {
+            if mv != 0.0 {
+                let d = xv - yv;
+                loss += mv * d * d;
+            }
+        }
+        let value = Matrix::from_vec(1, 1, vec![loss / denom]);
+        self.push(
+            value,
+            Op::MseMasked {
+                pred,
+                targets,
+                mask,
+            },
+        )
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Reverse sweep from the scalar `root`, accumulating parameter
+    /// gradients into `grads`.
+    ///
+    /// # Panics
+    /// Panics if `root` is not `1 x 1`.
+    pub fn backward(&self, root: Var, grads: &mut GradStore) {
+        assert_eq!(self.shape(root), (1, 1), "backward root must be scalar");
+        self.backward_weighted(root, 1.0, grads);
+    }
+
+    /// Like [`Graph::backward`] but seeds the root gradient with
+    /// `weight` (used for per-example loss weighting such as PPO
+    /// advantages).
+    pub fn backward_weighted(&self, root: Var, weight: f32, grads: &mut GradStore) {
+        assert_eq!(self.shape(root), (1, 1), "backward root must be scalar");
+        let mut adj: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        adj[root.0] = Some(Matrix::from_vec(1, 1, vec![weight]));
+
+        for i in (0..=root.0).rev() {
+            let Some(g) = adj[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(id) => {
+                    grads.get_mut(*id).axpy(1.0, &g);
+                }
+                Op::Gather(id, indices) => {
+                    let table = grads.get_mut(*id);
+                    for (r, &idx) in indices.iter().enumerate() {
+                        let dst = table.row_slice_mut(idx as usize);
+                        for (d, &s) in dst.iter_mut().zip(g.row_slice(r)) {
+                            *d += s;
+                        }
+                    }
+                }
+                Op::GatherVar(src, indices) => {
+                    let (sr, sc) = self.shape(*src);
+                    let mut ds = Matrix::zeros(sr, sc);
+                    for (r, &idx) in indices.iter().enumerate() {
+                        let dst = ds.row_slice_mut(idx as usize);
+                        for (d, &s) in dst.iter_mut().zip(g.row_slice(r)) {
+                            *d += s;
+                        }
+                    }
+                    accumulate(&mut adj, *src, ds);
+                }
+                Op::MatMul(a, b) => {
+                    // dA = G * B^T ; dB = A^T * G
+                    let da = g.matmul_t(&self.nodes[b.0].value);
+                    let db = self.nodes[a.0].value.t_matmul(&g);
+                    accumulate(&mut adj, *a, da);
+                    accumulate(&mut adj, *b, db);
+                }
+                Op::MatMulT(a, b) => {
+                    // y = A * B^T: dA = G * B ; dB = G^T * A
+                    let da = g.matmul(&self.nodes[b.0].value);
+                    let db = g.t_matmul(&self.nodes[a.0].value);
+                    accumulate(&mut adj, *a, da);
+                    accumulate(&mut adj, *b, db);
+                }
+                Op::Add(a, b) => {
+                    let (br, bc) = self.shape(*b);
+                    if (br, bc) == g.shape() {
+                        accumulate(&mut adj, *b, g.clone());
+                    } else {
+                        // b was a broadcast row: column-sum the gradient.
+                        let mut db = Matrix::zeros(1, bc);
+                        for r in 0..g.rows() {
+                            for (d, &s) in db.data_mut().iter_mut().zip(g.row_slice(r)) {
+                                *d += s;
+                            }
+                        }
+                        accumulate(&mut adj, *b, db);
+                    }
+                    accumulate(&mut adj, *a, g);
+                }
+                Op::Sub(a, b) => {
+                    let mut db = g.clone();
+                    db.scale_inplace(-1.0);
+                    accumulate(&mut adj, *b, db);
+                    accumulate(&mut adj, *a, g);
+                }
+                Op::Mul(a, b) => {
+                    let da = hadamard(&g, &self.nodes[b.0].value);
+                    let db = hadamard(&g, &self.nodes[a.0].value);
+                    accumulate(&mut adj, *a, da);
+                    accumulate(&mut adj, *b, db);
+                }
+                Op::Scale(a, alpha) => {
+                    let mut da = g;
+                    da.scale_inplace(*alpha);
+                    accumulate(&mut adj, *a, da);
+                }
+                Op::AddScalar(a) => {
+                    accumulate(&mut adj, *a, g);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let da = Matrix::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data()
+                            .iter()
+                            .zip(x.data())
+                            .map(|(&gv, &xv)| if xv > 0.0 { gv } else { 0.0 })
+                            .collect(),
+                    );
+                    accumulate(&mut adj, *a, da);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let x = &self.nodes[a.0].value;
+                    let da = Matrix::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data()
+                            .iter()
+                            .zip(x.data())
+                            .map(|(&gv, &xv)| if xv > 0.0 { gv } else { slope * gv })
+                            .collect(),
+                    );
+                    accumulate(&mut adj, *a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let da = Matrix::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data()
+                            .iter()
+                            .zip(y.data())
+                            .map(|(&gv, &yv)| gv * yv * (1.0 - yv))
+                            .collect(),
+                    );
+                    accumulate(&mut adj, *a, da);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let da = Matrix::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data()
+                            .iter()
+                            .zip(y.data())
+                            .map(|(&gv, &yv)| gv * (1.0 - yv * yv))
+                            .collect(),
+                    );
+                    accumulate(&mut adj, *a, da);
+                }
+                Op::Softplus(a) => {
+                    let x = &self.nodes[a.0].value;
+                    let da = Matrix::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.data()
+                            .iter()
+                            .zip(x.data())
+                            .map(|(&gv, &xv)| gv * stable_sigmoid(xv))
+                            .collect(),
+                    );
+                    accumulate(&mut adj, *a, da);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (ar, ac) = self.shape(*a);
+                    let (_, bc) = self.shape(*b);
+                    let mut da = Matrix::zeros(ar, ac);
+                    let mut db = Matrix::zeros(ar, bc);
+                    for r in 0..ar {
+                        da.row_slice_mut(r).copy_from_slice(&g.row_slice(r)[..ac]);
+                        db.row_slice_mut(r).copy_from_slice(&g.row_slice(r)[ac..]);
+                    }
+                    accumulate(&mut adj, *a, da);
+                    accumulate(&mut adj, *b, db);
+                }
+                Op::ConcatRows(a, b) => {
+                    let (ar, ac) = self.shape(*a);
+                    let (br, _) = self.shape(*b);
+                    let da = Matrix::from_vec(ar, ac, g.data()[..ar * ac].to_vec());
+                    let db = Matrix::from_vec(br, ac, g.data()[ar * ac..].to_vec());
+                    accumulate(&mut adj, *a, da);
+                    accumulate(&mut adj, *b, db);
+                }
+                Op::SumAll(a) => {
+                    let (ar, ac) = self.shape(*a);
+                    accumulate(&mut adj, *a, Matrix::full(ar, ac, g.at(0, 0)));
+                }
+                Op::MeanAll(a) => {
+                    let (ar, ac) = self.shape(*a);
+                    let scale = g.at(0, 0) / (ar * ac) as f32;
+                    accumulate(&mut adj, *a, Matrix::full(ar, ac, scale));
+                }
+                Op::SqSum(a) => {
+                    let mut da = self.nodes[a.0].value.clone();
+                    da.scale_inplace(2.0 * g.at(0, 0));
+                    accumulate(&mut adj, *a, da);
+                }
+                Op::LogSoftmaxRows(a) => {
+                    // dx = g - softmax(x) * rowsum(g)
+                    let y = &self.nodes[i].value; // log-probs
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        let gsum: f32 = g.row_slice(r).iter().sum();
+                        for (d, &lp) in da.row_slice_mut(r).iter_mut().zip(y.row_slice(r)) {
+                            *d -= lp.exp() * gsum;
+                        }
+                    }
+                    accumulate(&mut adj, *a, da);
+                }
+                Op::PickPerRow(a, indices) => {
+                    let (ar, ac) = self.shape(*a);
+                    let mut da = Matrix::zeros(ar, ac);
+                    for (r, &c) in indices.iter().enumerate() {
+                        da.set(r, c as usize, g.at(r, 0));
+                    }
+                    accumulate(&mut adj, *a, da);
+                }
+                Op::SpMM(sparse, dense) => {
+                    let dd = sparse.t_spmm(&g);
+                    accumulate(&mut adj, *dense, dd);
+                }
+                Op::BceWithLogits {
+                    logits,
+                    targets,
+                    mask,
+                } => {
+                    let x = &self.nodes[logits.0].value;
+                    let total_mask: f32 = mask.sum();
+                    let denom = if total_mask > 0.0 { total_mask } else { 1.0 };
+                    let scale = g.at(0, 0) / denom;
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.data()
+                            .iter()
+                            .zip(targets.data())
+                            .zip(mask.data())
+                            .map(|((&xv, &yv), &mv)| {
+                                if mv != 0.0 {
+                                    scale * mv * (stable_sigmoid(xv) - yv)
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .collect(),
+                    );
+                    accumulate(&mut adj, *logits, da);
+                }
+                Op::MseMasked {
+                    pred,
+                    targets,
+                    mask,
+                } => {
+                    let x = &self.nodes[pred.0].value;
+                    let total_mask: f32 = mask.sum();
+                    let denom = if total_mask > 0.0 { total_mask } else { 1.0 };
+                    let scale = 2.0 * g.at(0, 0) / denom;
+                    let da = Matrix::from_vec(
+                        x.rows(),
+                        x.cols(),
+                        x.data()
+                            .iter()
+                            .zip(targets.data())
+                            .zip(mask.data())
+                            .map(|((&xv, &yv), &mv)| {
+                                if mv != 0.0 {
+                                    scale * mv * (xv - yv)
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .collect(),
+                    );
+                    accumulate(&mut adj, *pred, da);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(adj: &mut [Option<Matrix>], v: Var, g: Matrix) {
+    match &mut adj[v.0] {
+        Some(existing) => existing.axpy(1.0, &g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    debug_assert_eq!(a.shape(), b.shape());
+    Matrix::from_vec(
+        a.rows(),
+        a.cols(),
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| x * y)
+            .collect(),
+    )
+}
+
+/// Numerically stable logistic function.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `ln(1 + e^x)`.
+#[inline]
+pub fn stable_softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}

@@ -1,0 +1,193 @@
+//! First-order optimizers over a [`ParamSet`] + [`GradStore`] pair.
+
+use crate::matrix::Matrix;
+use crate::params::{GradStore, ParamSet};
+
+/// Common interface: consume the accumulated gradients and update the
+/// parameters in place. Implementations do **not** zero the gradients;
+/// call [`GradStore::zero`] afterwards.
+pub trait Optimizer {
+    fn step(&mut self, params: &mut ParamSet, grads: &GradStore);
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+    /// Adjusts the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        Self { lr, weight_decay }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamSet, grads: &GradStore) {
+        assert_eq!(params.len(), grads.len(), "param/grad arity mismatch");
+        for i in 0..params.len() {
+            let id = crate::ParamId(i);
+            let g = grads.get(id).clone();
+            let p = params.get_mut(id);
+            if self.weight_decay > 0.0 {
+                let wd = self.weight_decay;
+                let lr = self.lr;
+                for (pv, gv) in p.data_mut().iter_mut().zip(g.data()) {
+                    *pv -= lr * (gv + wd * *pv);
+                }
+            } else {
+                p.axpy(-self.lr, &g);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Standard betas `(0.9, 0.999)` and `eps = 1e-8`.
+    pub fn new(params: &ParamSet, lr: f32) -> Self {
+        let zeros: Vec<Matrix> = params
+            .iter()
+            .map(|(_, m)| Matrix::zeros(m.rows(), m.cols()))
+            .collect();
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: zeros.clone(),
+            v: zeros,
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamSet, grads: &GradStore) {
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "Adam built for a different ParamSet"
+        );
+        assert_eq!(params.len(), grads.len(), "param/grad arity mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let id = crate::ParamId(i);
+            let g = grads.get(id);
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let p = params.get_mut(id);
+            for ((pv, gv), (mv, vv)) in p
+                .data_mut()
+                .iter_mut()
+                .zip(g.data())
+                .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+                let m_hat = *mv / b1t;
+                let v_hat = *vv / b2t;
+                *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Graph, ParamSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Minimizing (w - 3)^2 must converge to w = 3 for both optimizers.
+    fn converges(opt: &mut dyn Optimizer, params: &mut ParamSet, w: crate::ParamId) -> f32 {
+        for _ in 0..500 {
+            let mut grads = GradStore::zeros_like(params);
+            let mut g = Graph::new(params);
+            let wv = g.param(w);
+            let shifted = g.add_scalar(wv, -3.0);
+            let loss = g.sq_sum(shifted);
+            g.backward(loss, &mut grads);
+            opt.step(params, &grads);
+        }
+        params.get(w).at(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = ParamSet::new();
+        let w = params.add("w", crate::Matrix::uniform(1, 1, 1.0, &mut rng));
+        let mut opt = Sgd::new(0.1);
+        let final_w = converges(&mut opt, &mut params, w);
+        assert!((final_w - 3.0).abs() < 1e-3, "got {final_w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut params = ParamSet::new();
+        let w = params.add("w", crate::Matrix::uniform(1, 1, 1.0, &mut rng));
+        let mut opt = Adam::new(&params, 0.05);
+        let final_w = converges(&mut opt, &mut params, w);
+        assert!((final_w - 3.0).abs() < 1e-2, "got {final_w}");
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_weights() {
+        let mut params = ParamSet::new();
+        let w = params.add("w", crate::Matrix::full(1, 1, 1.0));
+        let grads = GradStore::zeros_like(&params);
+        let mut opt = Sgd::with_weight_decay(0.1, 0.5);
+        opt.step(&mut params, &grads);
+        // w -= lr * wd * w => 1 - 0.05
+        assert!((params.get(w).at(0, 0) - 0.95).abs() < 1e-6);
+    }
+}

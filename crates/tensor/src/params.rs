@@ -1,0 +1,187 @@
+//! Trainable parameter storage shared by the autodiff graph and the
+//! optimizers. Parameters live outside the per-step [`crate::Graph`] so a
+//! fresh graph can be built for every forward pass without copying
+//! weights.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Handle to one parameter matrix inside a [`ParamSet`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index of the parameter within its [`ParamSet`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A named collection of trainable matrices.
+#[derive(Clone, Debug, Default)]
+pub struct ParamSet {
+    entries: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.entries.push(value);
+        self.names.push(name.into());
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Registers a Xavier-initialized `fan_in x fan_out` weight.
+    pub fn add_xavier(
+        &mut self,
+        name: impl Into<String>,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        self.add(name, Matrix::xavier(fan_in, fan_out, rng))
+    }
+
+    /// Registers a zero-initialized `1 x n` bias row.
+    pub fn add_bias(&mut self, name: impl Into<String>, n: usize) -> ParamId {
+        self.add(name, Matrix::zeros(1, n))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.entries[id.0]
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.entries[id.0]
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates `(id, matrix)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ParamId(i), m))
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(Matrix::len).sum()
+    }
+
+    /// True if any parameter contains NaN/inf (training-loop guard).
+    pub fn has_non_finite(&self) -> bool {
+        self.entries.iter().any(Matrix::has_non_finite)
+    }
+}
+
+/// Gradient accumulator aligned with a [`ParamSet`].
+#[derive(Clone, Debug)]
+pub struct GradStore {
+    grads: Vec<Matrix>,
+}
+
+impl GradStore {
+    /// Zero gradients with the same shapes as `params`.
+    pub fn zeros_like(params: &ParamSet) -> Self {
+        Self {
+            grads: params
+                .entries
+                .iter()
+                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .collect(),
+        }
+    }
+
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.grads[id.0]
+    }
+
+    /// Resets every gradient to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Global L2 norm across all gradients.
+    pub fn l2_norm(&self) -> f32 {
+        self.grads.iter().map(Matrix::sq_norm).sum::<f32>().sqrt()
+    }
+
+    /// Scales all gradients so the global norm is at most `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.l2_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                g.scale_inplace(s);
+            }
+        }
+        norm
+    }
+
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        let w = ps.add_xavier("w", 4, 3, &mut rng);
+        let b = ps.add_bias("b", 3);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.get(w).shape(), (4, 3));
+        assert_eq!(ps.get(b).shape(), (1, 3));
+        assert_eq!(ps.name(w), "w");
+        assert_eq!(ps.num_scalars(), 15);
+    }
+
+    #[test]
+    fn grad_clip() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::zeros(1, 2));
+        let mut gs = GradStore::zeros_like(&ps);
+        gs.get_mut(w).data_mut().copy_from_slice(&[3.0, 4.0]);
+        let pre = gs.clip_global_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((gs.l2_norm() - 1.0).abs() < 1e-5);
+        // Below the threshold nothing changes.
+        let pre2 = gs.clip_global_norm(10.0);
+        assert!((pre2 - 1.0).abs() < 1e-5);
+    }
+}

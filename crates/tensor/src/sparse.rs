@@ -1,0 +1,232 @@
+//! Compressed-sparse-row matrix used for graph propagation (NGCF's
+//! normalized bipartite adjacency). The sparse operand is always a
+//! constant of the computation, so gradients only flow to the dense
+//! side of `spmm`.
+
+use crate::matrix::Matrix;
+
+/// A CSR sparse matrix of `f32`.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// `indptr[r]..indptr[r+1]` indexes the entries of row `r`.
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from (row, col, value) triples. Triples may be
+    /// unsorted; duplicates are summed.
+    pub fn from_triples(rows: usize, cols: usize, triples: &[(usize, usize, f32)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c, _) in triples {
+            assert!(
+                r < rows && c < cols,
+                "triple ({r},{c}) out of bounds {rows}x{cols}"
+            );
+            counts[r + 1] += 1;
+        }
+        for r in 0..rows {
+            counts[r + 1] += counts[r];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; triples.len()];
+        let mut values = vec![0f32; triples.len()];
+        let mut cursor = indptr.clone();
+        for &(r, c, v) in triples {
+            let pos = cursor[r];
+            indices[pos] = c as u32;
+            values[pos] = v;
+            cursor[r] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut out_indices = Vec::with_capacity(indices.len());
+        let mut out_values = Vec::with_capacity(values.len());
+        let mut out_indptr = Vec::with_capacity(rows + 1);
+        out_indptr.push(0);
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            for i in indptr[r]..indptr[r + 1] {
+                scratch.push((indices[i], values[i]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_indices.push(c);
+                out_values.push(v);
+                i = j;
+            }
+            out_indptr.push(out_indices.len());
+        }
+        Self {
+            rows,
+            cols,
+            indptr: out_indptr,
+            indices: out_indices,
+            values: out_values,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates `(col, value)` of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Dense product `self * dense`.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm shape mismatch: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        for r in 0..self.rows {
+            let out_row = out.row_slice_mut(r);
+            // Borrow fields directly so the closure does not re-borrow `out`.
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            for i in lo..hi {
+                let c = self.indices[i] as usize;
+                let v = self.values[i];
+                let d_row = dense.row_slice(c);
+                for (o, &d) in out_row.iter_mut().zip(d_row) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense product `self^T * dense` (used for the spmm gradient).
+    pub fn t_spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            dense.rows(),
+            "t_spmm shape mismatch: ({}x{})^T * {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let mut out = Matrix::zeros(self.cols, dense.cols());
+        for r in 0..self.rows {
+            let d_row = dense.row_slice(r);
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            for i in lo..hi {
+                let c = self.indices[i] as usize;
+                let v = self.values[i];
+                let out_row = out.row_slice_mut(c);
+                for (o, &d) in out_row.iter_mut().zip(d_row) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materializes the dense equivalent (tests only; O(rows*cols)).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, out.at(r, c) + v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_csr(rows: usize, cols: usize, nnz: usize, rng: &mut StdRng) -> Csr {
+        let triples: Vec<_> = (0..nnz)
+            .map(|_| {
+                (
+                    rng.gen_range(0..rows),
+                    rng.gen_range(0..cols),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        Csr::from_triples(rows, cols, &triples)
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sp = random_csr(8, 6, 20, &mut rng);
+        let d = Matrix::uniform(6, 4, 1.0, &mut rng);
+        let fast = sp.spmm(&d);
+        let slow = sp.to_dense().matmul(&d);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn t_spmm_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let sp = random_csr(8, 6, 20, &mut rng);
+        let d = Matrix::uniform(8, 3, 1.0, &mut rng);
+        let fast = sp.t_spmm(&d);
+        let slow = sp.to_dense().transpose().matmul(&d);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let sp = Csr::from_triples(2, 2, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, -1.0)]);
+        assert_eq!(sp.nnz(), 2);
+        let d = sp.to_dense();
+        assert_eq!(d.at(0, 1), 3.0);
+        assert_eq!(d.at(1, 0), -1.0);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let sp = Csr::from_triples(3, 3, &[(2, 2, 5.0)]);
+        assert_eq!(sp.row_iter(0).count(), 0);
+        assert_eq!(sp.row_iter(2).count(), 1);
+        let out = sp.spmm(&Matrix::full(3, 2, 1.0));
+        assert_eq!(out.row_slice(0), &[0.0, 0.0]);
+        assert_eq!(out.row_slice(2), &[5.0, 5.0]);
+    }
+}

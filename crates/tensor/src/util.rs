@@ -1,0 +1,143 @@
+//! Small numeric utilities shared across the workspace: stable softmax,
+//! categorical sampling, and summary statistics.
+
+use rand::Rng;
+
+/// Stable softmax of a logit slice into a fresh `Vec`.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut out: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = out.iter().sum();
+    if sum > 0.0 {
+        for o in &mut out {
+            *o /= sum;
+        }
+    } else {
+        // Degenerate logits (all -inf): fall back to uniform.
+        let u = 1.0 / out.len() as f32;
+        out.iter_mut().for_each(|o| *o = u);
+    }
+    out
+}
+
+/// Stable log-softmax of a logit slice.
+pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let lse = max + logits.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    logits.iter().map(|&x| x - lse).collect()
+}
+
+/// Samples an index from unnormalized logits; returns `(index, log_prob)`.
+pub fn sample_categorical(logits: &[f32], rng: &mut impl Rng) -> (usize, f32) {
+    assert!(!logits.is_empty(), "cannot sample from empty logits");
+    if logits.len() == 2 {
+        // Allocation-free fast path for binary decisions — the hot case
+        // on tree-structured action spaces.
+        let p1 = crate::stable_sigmoid(logits[1] - logits[0]);
+        let chosen = usize::from(rng.gen::<f32>() < p1);
+        let p = if chosen == 1 { p1 } else { 1.0 - p1 };
+        return (chosen, p.max(1e-12).ln());
+    }
+    let probs = softmax(logits);
+    let u: f32 = rng.gen();
+    let mut acc = 0.0;
+    let mut chosen = probs.len() - 1;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            chosen = i;
+            break;
+        }
+    }
+    let lp = log_softmax(logits)[chosen];
+    (chosen, lp)
+}
+
+/// Index of the maximum entry (first on ties).
+pub fn argmax(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f32>() / values.len() as f32
+    }
+}
+
+/// Population standard deviation of a slice (0 for fewer than 2 values).
+pub fn std_dev(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / values.len() as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let logits = [0.5, -1.0, 2.0, 0.0];
+        let p = softmax(&logits);
+        let lp = log_softmax(&logits);
+        for (x, y) in p.iter().zip(&lp) {
+            assert!((x.ln() - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Heavily biased logits: index 1 should dominate.
+        let logits = [0.0, 5.0, 0.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            let (i, lp) = sample_categorical(&logits, &mut rng);
+            assert!(lp <= 0.0);
+            counts[i] += 1;
+        }
+        assert!(counts[1] > 1800, "counts={counts:?}");
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-6);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,67 @@
+//! Anatomy of the Biased Complete Binary Tree (paper §III-E).
+//!
+//! Builds the four action-space designs over the same catalog and
+//! shows, from an untrained policy, how each biases its samples:
+//! Plain hits targets at the base rate `|I_t| / |I ∪ I_t|`, the biased
+//! designs at ~50%, and BCBT pays only `O(log |I|)` decisions per
+//! click.
+//!
+//! ```text
+//! cargo run --release --example bcbt_anatomy
+//! ```
+
+use poisonrec::{ActionSpace, ActionSpaceKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Matrix;
+
+fn main() {
+    let num_items = 5_000u32;
+    let num_targets = 8u32;
+    // Popularity: descending in item id, like the dataset twins.
+    let popularity: Vec<u32> = (0..num_items).map(|i| num_items - i).collect();
+
+    println!(
+        "catalog: |I| = {num_items}, |I_t| = {num_targets}, flat search space per click = {}",
+        num_items + num_targets
+    );
+    println!(
+        "{:<14} {:>10} {:>16} {:>18}",
+        "design", "extra emb", "target-hit rate", "decisions / click"
+    );
+
+    for kind in ActionSpaceKind::ALL {
+        let space = ActionSpace::build(kind, num_items, num_targets, &popularity, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Zero embeddings = untrained policy: every decision is uniform.
+        let emb = Matrix::zeros(space.table_rows(), 16);
+        let d = vec![0.0f32; 16];
+
+        let draws = 4_000;
+        let mut target_hits = 0usize;
+        let mut decisions = 0usize;
+        for _ in 0..draws {
+            let (item, trail) = space.sample(&d, &emb, &mut rng);
+            if item >= num_items {
+                target_hits += 1;
+            }
+            decisions += trail.len();
+        }
+        println!(
+            "{:<14} {:>10} {:>15.1}% {:>18.1}",
+            kind.name(),
+            space.extra_rows(),
+            100.0 * target_hits as f64 / draws as f64,
+            decisions as f64 / draws as f64
+        );
+    }
+
+    println!(
+        "\nThe priori-knowledge root split lifts the chance of sampling a target \
+         from {:.2}% to ~50%,\nand the hierarchical structure replaces one \
+         {}-way softmax with ~{} binary decisions.",
+        100.0 * f64::from(num_targets) / f64::from(num_items + num_targets),
+        num_items + num_targets,
+        (f64::from(num_items)).log2().ceil() as u32 + 1
+    );
+}

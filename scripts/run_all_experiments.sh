@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates every artifact in results/ in dependency order.
+# Defaults are laptop-scale; pass extra flags through, e.g.
+#   scripts/run_all_experiments.sh --scale 0.2 --steps 60
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench
+
+BIN=target/release
+FLAGS=("$@")
+
+$BIN/exp_table2  "${FLAGS[@]}"
+$BIN/exp_timing  "${FLAGS[@]}"
+$BIN/exp_fig4    "${FLAGS[@]}"
+$BIN/exp_fig5    "${FLAGS[@]}"
+$BIN/exp_fig6    "${FLAGS[@]}"
+$BIN/exp_table3  "${FLAGS[@]}"
+$BIN/exp_table4  "${FLAGS[@]}"          # consumes table3.csv
+$BIN/exp_compare_paper "${FLAGS[@]}"    # consumes table3.csv
+$BIN/exp_ablation "${FLAGS[@]}"
+$BIN/exp_variance "${FLAGS[@]}"
+$BIN/exp_defense  "${FLAGS[@]}"
+
+echo "all artifacts written to results/"

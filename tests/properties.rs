@@ -1,0 +1,130 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: the complete binary tree, action-space sampling,
+//! reward normalization, top-k selection, alias sampling, and the
+//! log-view overlay.
+
+use datasets::AliasTable;
+use poisonrec::{normalize_rewards, ActionSpace, ActionSpaceKind, ItemTree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recsys::data::{Dataset, LogView};
+use recsys::eval::top_k_items;
+use tensor::Matrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A complete binary tree over n leaves preserves leaf order, has
+    /// exactly n-1 internal nodes, and depth ceil(log2 n).
+    #[test]
+    fn complete_tree_invariants(n in 1usize..500) {
+        let leaves: Vec<u32> = (0..n as u32).collect();
+        let tree = ItemTree::complete(&leaves);
+        prop_assert_eq!(tree.num_leaves(), n);
+        prop_assert_eq!(tree.num_internal(), n - 1);
+        prop_assert_eq!(tree.leaves_in_order(), leaves);
+        let expected_depth = if n == 1 { 0 } else { (n as f64).log2().ceil() as usize };
+        prop_assert_eq!(tree.depth(), expected_depth);
+    }
+
+    /// Sampling any action space always yields an in-catalog item whose
+    /// decision trail re-evaluates to the same log-probability.
+    #[test]
+    fn action_space_sampling_is_consistent(
+        num_items in 2u32..200,
+        kind_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let kind = ActionSpaceKind::ALL[kind_idx];
+        let popularity: Vec<u32> = (0..num_items).map(|i| num_items - i).collect();
+        let space = ActionSpace::build(kind, num_items, 4, &popularity, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let emb = Matrix::uniform(space.table_rows(), 8, 0.5, &mut rng);
+        let d: Vec<f32> = (0..8).map(|i| (i as f32 - 4.0) * 0.1).collect();
+        let (item, trail) = space.sample(&d, &emb, &mut rng);
+        prop_assert!(item < num_items + 4);
+        let sampled: f32 = trail.iter().map(|c| c.old_logp).sum();
+        let recomputed = space.trail_logp(&d, &emb, &trail);
+        prop_assert!((sampled - recomputed).abs() < 1e-3);
+        prop_assert!(sampled <= 1e-6);
+    }
+
+    /// Eq. 8 normalization: zero mean, unit (population) std for any
+    /// non-constant batch; all-zero for constant batches.
+    #[test]
+    fn reward_normalization_properties(rewards in prop::collection::vec(0.0f32..1e4, 2..64)) {
+        let normed = normalize_rewards(&rewards);
+        prop_assert_eq!(normed.len(), rewards.len());
+        let constant = rewards.iter().all(|&r| (r - rewards[0]).abs() < 1e-9);
+        if constant {
+            prop_assert!(normed.iter().all(|&x| x == 0.0));
+        } else {
+            let mean: f32 = normed.iter().sum::<f32>() / normed.len() as f32;
+            prop_assert!(mean.abs() < 1e-3, "mean {}", mean);
+            // Order must be preserved.
+            for (a, b) in rewards.iter().zip(rewards.iter().skip(1)) {
+                let (na, nb) = (normed[rewards.iter().position(|x| x == a).unwrap()],
+                                normed[rewards.iter().position(|x| x == b).unwrap()]);
+                if a < b { prop_assert!(na <= nb); }
+            }
+        }
+    }
+
+    /// top-k returns k items, sorted by score, all from the candidates.
+    #[test]
+    fn top_k_properties(scores in prop::collection::vec(-1e3f32..1e3, 1..100), k in 1usize..20) {
+        let candidates: Vec<u32> = (0..scores.len() as u32).collect();
+        let top = top_k_items(&candidates, &scores, k);
+        prop_assert_eq!(top.len(), k.min(candidates.len()));
+        // Sorted by score descending.
+        for w in top.windows(2) {
+            prop_assert!(scores[w[0] as usize] >= scores[w[1] as usize]);
+        }
+        // Every returned item really is among the k best.
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let threshold = sorted[top.len() - 1];
+        for &item in &top {
+            prop_assert!(scores[item as usize] >= threshold);
+        }
+    }
+
+    /// Alias tables never emit zero-weight outcomes.
+    #[test]
+    fn alias_table_respects_support(
+        weights in prop::collection::vec(0.0f64..10.0, 1..50),
+        seed in 0u64..100,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let idx = table.sample(&mut rng);
+            prop_assert!(weights[idx] > 0.0, "sampled zero-weight outcome {}", idx);
+        }
+    }
+
+    /// The log view's interaction count and popularity are consistent
+    /// with base + poison for any poison shape.
+    #[test]
+    fn log_view_overlay_is_consistent(
+        n_attackers in 0usize..6,
+        t_len in 0usize..10,
+    ) {
+        let histories = (0..12u32).map(|u| vec![u % 5, (u + 1) % 5, (u + 2) % 5]).collect();
+        let base = Dataset::from_histories("p", histories, 5, 2);
+        let poison: Vec<Vec<u32>> =
+            (0..n_attackers).map(|a| (0..t_len).map(|t| ((a + t) % 7) as u32).collect()).collect();
+        let view = LogView::new(&base, &poison);
+        prop_assert_eq!(view.num_users(), base.num_users() + n_attackers as u32);
+        prop_assert_eq!(
+            view.num_interactions(),
+            base.num_interactions() + n_attackers * t_len
+        );
+        let pop = view.popularity();
+        let base_pop = base.popularity();
+        let poison_total: u32 = pop.iter().sum::<u32>() - base_pop.iter().sum::<u32>();
+        prop_assert_eq!(poison_total as usize, n_attackers * t_len);
+    }
+}

@@ -1,0 +1,111 @@
+//! Determinism guarantees: every stochastic component is seeded, so
+//! identical seeds must reproduce identical experiments bit-for-bit,
+//! and different seeds must actually differ.
+
+use datasets::PaperDataset;
+use poisonrec::{ActionSpaceKind, PoisonRecConfig, PoisonRecTrainer, PolicyConfig, PpoConfig};
+use recsys::data::LogView;
+use recsys::rankers::RankerKind;
+use recsys::system::{BlackBoxSystem, SystemConfig};
+
+fn build(seed: u64) -> BlackBoxSystem {
+    let data = PaperDataset::Phone.generate_scaled(0.03, seed);
+    let ranker = RankerKind::ItemPop.build(&LogView::clean(&data), 16);
+    BlackBoxSystem::build(
+        data,
+        ranker,
+        SystemConfig {
+            eval_users: 64,
+            seed,
+            ..SystemConfig::default()
+        },
+    )
+}
+
+fn short_training_rewards(system_seed: u64, agent_seed: u64) -> Vec<f32> {
+    let system = build(system_seed);
+    let cfg = PoisonRecConfig {
+        policy: PolicyConfig {
+            dim: 8,
+            num_attackers: 4,
+            trajectory_len: 6,
+            init_scale: 0.1,
+        },
+        ppo: PpoConfig {
+            samples_per_step: 4,
+            batch: 4,
+            epochs: 2,
+            ..PpoConfig::default()
+        },
+        action_space: ActionSpaceKind::BcbtPopular,
+        seed: agent_seed,
+    };
+    let mut trainer = PoisonRecTrainer::new(cfg, &system);
+    trainer
+        .train(&system, 4)
+        .iter()
+        .map(|s| s.mean_reward)
+        .collect()
+}
+
+#[test]
+fn identical_seeds_reproduce_training_exactly() {
+    let a = short_training_rewards(5, 9);
+    let b = short_training_rewards(5, 9);
+    assert_eq!(a, b, "same seeds must give identical training traces");
+}
+
+#[test]
+fn different_agent_seeds_diverge() {
+    // Rewards can coincide (both zero on a hard cell); the sampled
+    // trajectories themselves must differ.
+    let sample = |agent_seed: u64| {
+        let system = build(5);
+        let cfg = PoisonRecConfig {
+            policy: PolicyConfig {
+                dim: 8,
+                num_attackers: 4,
+                trajectory_len: 6,
+                init_scale: 0.1,
+            },
+            ppo: PpoConfig {
+                samples_per_step: 4,
+                batch: 4,
+                epochs: 2,
+                ..PpoConfig::default()
+            },
+            action_space: ActionSpaceKind::BcbtPopular,
+            seed: agent_seed,
+        };
+        let mut trainer = PoisonRecTrainer::new(cfg, &system);
+        trainer.sample_attack().trajectories
+    };
+    assert_ne!(
+        sample(9),
+        sample(10),
+        "different agent seeds should explore differently"
+    );
+}
+
+#[test]
+fn different_dataset_seeds_build_different_worlds() {
+    let a = PaperDataset::Clothing.generate_scaled(0.02, 1);
+    let b = PaperDataset::Clothing.generate_scaled(0.02, 2);
+    assert_eq!(a.num_users(), b.num_users());
+    let differs = (0..a.num_users().min(50)).any(|u| a.sequence(u) != b.sequence(u));
+    assert!(differs);
+}
+
+#[test]
+fn observation_noise_is_seeded_not_hidden_state() {
+    let system = build(7);
+    let target = system.public_info().target_items[0];
+    let poison = vec![vec![target; 10]; 4];
+    let a = system.inject_and_observe_seeded(&poison, 100);
+    let b = system.inject_and_observe_seeded(&poison, 100);
+    let c = system.inject_and_observe_seeded(&poison, 101);
+    assert_eq!(a, b);
+    // Different retrain seeds *may* coincide for ItemPop (exact counts);
+    // the API contract is only that seeding fully determines the result.
+    let _ = c;
+}
