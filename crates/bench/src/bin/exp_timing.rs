@@ -7,14 +7,24 @@
 //! (decision count) so the measurement isolates exactly what the paper
 //! measures: trajectory sampling + PPO optimization cost.
 //! Regenerates `results/timing.{csv,md}`.
+//!
+//! A second section times *real* full steps (BPR system retrains per
+//! episode) with the scoring phase on 1 thread vs `--threads`, showing
+//! the observation-engine speedup and that rewards stay identical.
+//! Regenerates `results/timing_threads.{csv,md}`.
 
 use std::time::Instant;
 
 use analysis::{write_text, Table};
 use bench::ExpArgs;
-use poisonrec::{ActionSpace, ActionSpaceKind, PolicyConfig, PolicyNetwork, PpoConfig, PpoUpdater};
+use datasets::PaperDataset;
+use poisonrec::{
+    ActionSpace, ActionSpaceKind, PoisonRecTrainer, PolicyConfig, PolicyNetwork, PpoConfig,
+    PpoUpdater,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use recsys::rankers::RankerKind;
 
 fn step_time(kind: ActionSpaceKind, num_items: u32, args: &ExpArgs, episodes: usize) -> f64 {
     let popularity: Vec<u32> = (0..num_items).map(|i| num_items - i).collect();
@@ -63,6 +73,37 @@ fn step_time(kind: ActionSpaceKind, num_items: u32, args: &ExpArgs, episodes: us
     start.elapsed().as_secs_f64()
 }
 
+/// Times `steps` real training steps (every episode retrains a BPR
+/// system) with the scoring phase capped at `threads`; returns
+/// (seconds, final mean reward).
+fn real_steps_time(args: &ExpArgs, threads: usize, steps: usize) -> (f64, f32) {
+    // Size the cell so the M per-episode system retrains dominate the
+    // step (that is what the thread knob parallelizes); keep the
+    // policy small so sampling + PPO stay in the noise.
+    let system = {
+        let scaled = ExpArgs {
+            scale: args.scale.max(0.12),
+            eval_users: args.eval_users.max(256),
+            ..args.clone()
+        };
+        scaled.build_system(PaperDataset::Phone, RankerKind::Bpr)
+    };
+    let cfg = {
+        let mut cfg = args.poisonrec_config(ActionSpaceKind::BcbtPopular, 0xE1);
+        cfg.policy.dim = cfg.policy.dim.min(16);
+        cfg.ppo.samples_per_step = args.episodes;
+        cfg.ppo.batch = args.episodes;
+        cfg.threads = threads;
+        cfg
+    };
+    let mut trainer = PoisonRecTrainer::new(cfg, &system);
+    let start = Instant::now();
+    trainer.train(&system, steps);
+    let elapsed = start.elapsed().as_secs_f64();
+    let mean = trainer.history().last().map_or(0.0, |s| s.mean_reward);
+    (elapsed, mean)
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let sizes = [3_000u32, 10_000, 30_000];
@@ -89,4 +130,49 @@ fn main() {
         .expect("write csv");
     write_text(args.out_dir.join("timing.md"), &table.to_markdown()).expect("write md");
     println!("wrote {}", args.out_dir.join("timing.{{csv,md}}").display());
+
+    // Real steps: observation-engine scaling (BPR retrain per episode).
+    let steps = args.steps.clamp(1, 3);
+    println!(
+        "\nreal training steps on Phone/BPR ({} episodes/step, {steps} steps):",
+        args.episodes
+    );
+    let mut threads_table = Table::new(["threads", "time (s)", "speedup", "mean RecNum"]);
+    let (base_time, base_reward) = real_steps_time(&args, 1, steps);
+    let mut thread_counts = vec![1usize, 2, args.threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    for threads in thread_counts {
+        let (time, reward) = if threads == 1 {
+            (base_time, base_reward)
+        } else {
+            real_steps_time(&args, threads, steps)
+        };
+        assert_eq!(
+            reward, base_reward,
+            "thread count changed rewards — determinism broken"
+        );
+        println!(
+            "threads = {threads:>2}: {time:>7.3} s   speedup {:.2}x   mean RecNum {reward:.2}",
+            base_time / time
+        );
+        threads_table.push([
+            threads.to_string(),
+            format!("{time:.3}"),
+            format!("{:.2}", base_time / time),
+            format!("{reward:.2}"),
+        ]);
+    }
+    threads_table
+        .write_csv(args.out_dir.join("timing_threads.csv"))
+        .expect("write csv");
+    write_text(
+        args.out_dir.join("timing_threads.md"),
+        &threads_table.to_markdown(),
+    )
+    .expect("write md");
+    println!(
+        "wrote {}",
+        args.out_dir.join("timing_threads.{{csv,md}}").display()
+    );
 }

@@ -98,8 +98,8 @@ impl ExpArgs {
                     args.rankers = take("--rankers")
                         .split(',')
                         .map(|s| {
-                            RankerKind::parse(s).unwrap_or_else(|| {
-                                eprintln!("unknown ranker {s}");
+                            s.parse::<RankerKind>().unwrap_or_else(|err| {
+                                eprintln!("{err}");
                                 std::process::exit(2);
                             })
                         })
@@ -193,6 +193,7 @@ impl ExpArgs {
             },
             action_space: space,
             seed: self.seed ^ seed_offset,
+            threads: self.threads,
         }
     }
 
@@ -210,35 +211,10 @@ impl ExpArgs {
     }
 }
 
-/// Runs `jobs` closures on `threads` workers, preserving output order.
-/// Each job runs independently (experiment cells build their own
-/// systems), so this is a plain scoped fan-out.
-pub fn run_parallel<T: Send>(threads: usize, jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
-    let n = jobs.len();
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for (i, job) in jobs.into_iter().enumerate() {
-        queue.push((i, job));
-    }
-    let slots: Vec<parking_lot::Mutex<&mut Option<T>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::scope(|s| {
-        for _ in 0..threads.max(1).min(n.max(1)) {
-            s.spawn(|_| {
-                while let Some((i, job)) = queue.pop() {
-                    let value = job();
-                    **slots[i].lock() = Some(value);
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("job completed"))
-        .collect()
-}
+/// Cell-level fan-out for the experiment binaries, now provided by the
+/// shared [`runtime`] worker pool (one persistent pool per process;
+/// trainer-level scoring batches nest inside it safely).
+pub use runtime::run_parallel;
 
 #[cfg(test)]
 mod tests {

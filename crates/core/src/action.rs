@@ -25,7 +25,7 @@ use tensor::util::{log_softmax, sample_categorical};
 use tensor::Matrix;
 
 /// Which rows of the action-embedding table a decision chose among.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChoiceSet {
     /// A binary tree decision between two embedding rows.
     Pair(u32, u32),
@@ -49,7 +49,7 @@ impl ChoiceSet {
 
 /// One recorded decision: where we chose, what we chose, and how likely
 /// it was under the parameters that sampled it (for the PPO ratio).
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Choice {
     pub set: ChoiceSet,
     /// Index *within* the choice set.
@@ -59,7 +59,7 @@ pub struct Choice {
 }
 
 /// The four designs compared in §IV-B.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ActionSpaceKind {
     Plain,
     BPlain,

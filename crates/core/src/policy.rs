@@ -21,7 +21,7 @@ use tensor::{GradStore, Graph, Matrix, ParamId, ParamSet, Var};
 use crate::action::{ActionSpace, Choice, ChoiceSet};
 
 /// Policy hyperparameters.
-#[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct PolicyConfig {
     /// Embedding / hidden width `|e|` (paper: 64).
     pub dim: usize,
@@ -45,7 +45,7 @@ impl Default for PolicyConfig {
 
 /// One sampled episode: the N trajectories, the decision trails that
 /// produced them, and (once observed) the RecNum reward.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Episode {
     /// `trajectories[n][t]` = item clicked by attacker `n` at step `t`.
     pub trajectories: Vec<Trajectory>,

@@ -16,7 +16,7 @@ use tensor::Matrix;
 use crate::policy::{Episode, PolicyNetwork};
 
 /// PPO hyperparameters (paper defaults in parentheses).
-#[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct PpoConfig {
     /// Adam learning rate α (2e-3).
     pub lr: f32,

@@ -4,23 +4,40 @@
 //! every episode's trajectory set into the black-box system to observe
 //! its RecNum reward, then runs `K` PPO epochs over random batches of
 //! `B` stored examples with Eq. 8-normalized rewards.
+//!
+//! ## Threading
+//!
+//! [`PoisonRecTrainer::step`] is split into two phases. The *sample*
+//! phase draws all `M` episodes sequentially — it owns the trainer's
+//! RNG, and keeping it single-threaded keeps the policy's sampling
+//! stream independent of thread count. The *scoring* phase hands the
+//! sampled trajectory sets to [`BlackBoxSystem::observe_batch`], which
+//! retrains up to [`PoisonRecConfig::threads`] system clones in
+//! parallel. Observation seeds are fixed before dispatch, so a step's
+//! rewards — and therefore the whole training run — are bit-identical
+//! for every `threads` value.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use recsys::system::BlackBoxSystem;
+use recsys::system::{BlackBoxSystem, ConfigError};
+use recsys::Trajectory;
 
 use crate::action::{ActionSpace, ActionSpaceKind};
 use crate::policy::{Episode, PolicyConfig, PolicyNetwork};
 use crate::ppo::{normalize_rewards, PpoConfig, PpoUpdater};
 
 /// Full PoisonRec configuration (paper defaults).
-#[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct PoisonRecConfig {
     pub policy: PolicyConfig,
     pub ppo: PpoConfig,
     pub action_space: ActionSpaceKind,
     pub seed: u64,
+    /// Upper bound on concurrent system retrains per scoring phase.
+    /// `1` (the default) keeps every observation on the calling
+    /// thread; results are identical either way.
+    pub threads: usize,
 }
 
 impl Default for PoisonRecConfig {
@@ -30,12 +47,105 @@ impl Default for PoisonRecConfig {
             ppo: PpoConfig::default(),
             action_space: ActionSpaceKind::BcbtPopular,
             seed: 1,
+            threads: 1,
         }
     }
 }
 
+impl PoisonRecConfig {
+    /// A validating builder seeded with the paper defaults.
+    pub fn builder() -> PoisonRecConfigBuilder {
+        PoisonRecConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builds a [`PoisonRecConfig`], rejecting degenerate values before
+/// they turn into mid-training panics or silent no-op steps.
+#[derive(Clone, Debug)]
+pub struct PoisonRecConfigBuilder {
+    cfg: PoisonRecConfig,
+}
+
+impl PoisonRecConfigBuilder {
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    pub fn ppo(mut self, ppo: PpoConfig) -> Self {
+        self.cfg.ppo = ppo;
+        self
+    }
+
+    pub fn action_space(mut self, action_space: ActionSpaceKind) -> Self {
+        self.cfg.action_space = action_space;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<PoisonRecConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.ppo.samples_per_step == 0 {
+            return Err(ConfigError {
+                field: "ppo.samples_per_step",
+                message: "a step must sample at least one episode".into(),
+            });
+        }
+        if cfg.ppo.batch == 0 {
+            return Err(ConfigError {
+                field: "ppo.batch",
+                message: "PPO batches must contain at least one episode".into(),
+            });
+        }
+        if cfg.policy.num_attackers == 0 {
+            return Err(ConfigError {
+                field: "policy.num_attackers",
+                message: "an attack needs at least one fake account".into(),
+            });
+        }
+        if cfg.threads == 0 {
+            return Err(ConfigError {
+                field: "threads",
+                message: "at least one scoring thread is required".into(),
+            });
+        }
+        Ok(cfg)
+    }
+
+    /// [`PoisonRecConfigBuilder::build`] plus checks against the target
+    /// system: the policy must not sample more fake accounts than the
+    /// system reserves, or every injection would be rejected at
+    /// observation time.
+    pub fn build_for(self, system: &BlackBoxSystem) -> Result<PoisonRecConfig, ConfigError> {
+        let reserve = system.config().reserve_attackers as usize;
+        let cfg = self.build()?;
+        if cfg.policy.num_attackers > reserve {
+            return Err(ConfigError {
+                field: "policy.num_attackers",
+                message: format!(
+                    "policy samples {} fake accounts but the system reserves only {reserve}",
+                    cfg.policy.num_attackers
+                ),
+            });
+        }
+        Ok(cfg)
+    }
+}
+
 /// Per-step training telemetry (drives Figure 4).
-#[derive(Copy, Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct StepStats {
     pub step: usize,
     /// Mean RecNum over the step's sampled episodes.
@@ -105,17 +215,42 @@ impl PoisonRecTrainer {
         self.best.as_ref()
     }
 
-    /// One Algorithm 1 iteration. Costs `M` system retrains.
+    /// One Algorithm 1 iteration. Costs `M` system retrains, fanned
+    /// out over up to [`PoisonRecConfig::threads`] threads.
     pub fn step(&mut self, system: &BlackBoxSystem) -> StepStats {
         let m = self.cfg.ppo.samples_per_step;
-        let mut episodes: Vec<Episode> = Vec::with_capacity(m);
-        for _ in 0..m {
-            let mut ep = self.policy.sample_episode(&self.space, &mut self.rng);
-            ep.reward = system.inject_and_observe(&ep.trajectories) as f32;
-            if self.best.as_ref().is_none_or(|b| ep.reward > b.reward) {
-                self.best = Some(ep.clone());
+
+        // Sample phase (sequential): the only consumer of the trainer
+        // RNG, so the policy's sampling stream never depends on how
+        // the scoring phase is scheduled.
+        let mut episodes: Vec<Episode> = (0..m)
+            .map(|_| self.policy.sample_episode(&self.space, &mut self.rng))
+            .collect();
+
+        // Scoring phase (parallel): M independent system retrains.
+        let batch: Vec<&[Trajectory]> =
+            episodes.iter().map(|e| e.trajectories.as_slice()).collect();
+        let observations = system.observe_batch(&batch, self.cfg.threads);
+        for (ep, obs) in episodes.iter_mut().zip(&observations) {
+            ep.reward = obs.rec_num as f32;
+        }
+
+        // Track the step's champion by index; clone at most once per
+        // step, and only when it beats the all-time best.
+        let mut step_best: Option<usize> = None;
+        for (i, ep) in episodes.iter().enumerate() {
+            if step_best.is_none_or(|j| ep.reward > episodes[j].reward) {
+                step_best = Some(i);
             }
-            episodes.push(ep);
+        }
+        if let Some(i) = step_best {
+            if self
+                .best
+                .as_ref()
+                .is_none_or(|b| episodes[i].reward > b.reward)
+            {
+                self.best = Some(episodes[i].clone());
+            }
         }
 
         let mut signal_sum = 0.0f32;
@@ -207,6 +342,7 @@ mod tests {
             },
             action_space: kind,
             seed: 5,
+            threads: 1,
         }
     }
 
@@ -247,5 +383,69 @@ mod tests {
             let stats = trainer.step(&system);
             assert!(stats.mean_reward.is_finite(), "{kind}");
         }
+    }
+
+    #[test]
+    fn training_is_thread_count_invariant() {
+        // The scoring fan-out must not change a single bit of the run:
+        // same per-step stats, same best episode.
+        let run = |threads: usize| {
+            let system = tiny_system();
+            let cfg = PoisonRecConfig {
+                threads,
+                ..tiny_cfg(ActionSpaceKind::BcbtPopular)
+            };
+            let mut trainer = PoisonRecTrainer::new(cfg, &system);
+            let history = trainer.train(&system, 4).to_vec();
+            let best = trainer.best_episode().cloned().expect("ran steps");
+            (history, best)
+        };
+        let (h1, b1) = run(1);
+        let (h8, b8) = run(8);
+        assert_eq!(h1.len(), h8.len());
+        for (a, b) in h1.iter().zip(&h8) {
+            assert_eq!(a.mean_reward, b.mean_reward);
+            assert_eq!(a.max_reward, b.max_reward);
+            assert_eq!(a.ppo_signal, b.ppo_signal);
+        }
+        assert_eq!(b1.reward, b8.reward);
+        assert_eq!(b1.trajectories, b8.trajectories);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configs() {
+        assert!(PoisonRecConfig::builder().seed(9).build().is_ok());
+
+        let zero_samples = PoisonRecConfig::builder()
+            .ppo(PpoConfig {
+                samples_per_step: 0,
+                ..PpoConfig::default()
+            })
+            .build()
+            .expect_err("zero samples per step");
+        assert_eq!(zero_samples.field, "ppo.samples_per_step");
+
+        let zero_threads = PoisonRecConfig::builder()
+            .threads(0)
+            .build()
+            .expect_err("zero threads");
+        assert_eq!(zero_threads.field, "threads");
+
+        let system = tiny_system(); // reserves 8 attacker accounts
+        let greedy = PoisonRecConfig::builder()
+            .policy(PolicyConfig {
+                num_attackers: 9,
+                ..PolicyConfig::default()
+            })
+            .build_for(&system)
+            .expect_err("more attackers than reserved");
+        assert_eq!(greedy.field, "policy.num_attackers");
+        assert!(PoisonRecConfig::builder()
+            .policy(PolicyConfig {
+                num_attackers: 8,
+                ..PolicyConfig::default()
+            })
+            .build_for(&system)
+            .is_ok());
     }
 }

@@ -41,5 +41,7 @@ pub mod rankers;
 pub mod system;
 
 pub use data::{Dataset, ItemId, LogView, Trajectory, UserId};
-pub use rankers::{Ranker, RankerKind};
-pub use system::{BlackBoxSystem, PublicInfo, SystemConfig};
+pub use rankers::{Ranker, RankerKind, UnknownRanker};
+pub use system::{
+    BlackBoxSystem, ConfigError, Observation, PublicInfo, SystemConfig, SystemConfigBuilder,
+};

@@ -216,7 +216,7 @@ mod tests {
             },
             EmbeddingConfig::for_view(&view, 4),
         );
-        r.fit(&view, 3);
+        r.fit(&view, 5);
         // A cluster-A history should reconstruct cluster-A items above
         // cluster-B items, including unclicked ones.
         let history = d.sequence(0).to_vec();

@@ -38,7 +38,14 @@ use crate::data::{ItemId, LogView, UserId};
 
 /// A recommendation model that can be (re)trained on an interaction log
 /// and asked to score candidate items for a user.
-pub trait Ranker: Send {
+///
+/// `Send + Sync` is part of the contract: a fitted ranker is shared
+/// read-only across observation threads (`BlackBoxSystem` snapshots it
+/// with [`Ranker::boxed_clone`] before any mutation), so scoring and
+/// cloning must be safe from `&self` on multiple threads at once.
+/// Rankers that want interior caches must guard them with sync
+/// primitives rather than `Cell`/`RefCell`.
+pub trait Ranker: Send + Sync {
     /// Short algorithm name, e.g. `"BPR"`.
     fn name(&self) -> &'static str;
 
@@ -86,6 +93,60 @@ pub enum RankerKind {
     Ngcf,
 }
 
+/// One row of the testbed registry: the kind, its display name, and a
+/// constructor with default hyperparameters.
+struct RankerEntry {
+    kind: RankerKind,
+    name: &'static str,
+    build: fn(EmbeddingConfig) -> Box<dyn Ranker>,
+}
+
+/// The registry, in the paper's column order (Table III). `name`,
+/// `FromStr`, and `build` are all lookups into this single table, so
+/// adding a testbed is a one-line change.
+static REGISTRY: [RankerEntry; 8] = [
+    RankerEntry {
+        kind: RankerKind::ItemPop,
+        name: "ItemPop",
+        build: |_| Box::new(ItemPop::new()),
+    },
+    RankerEntry {
+        kind: RankerKind::CoVisitation,
+        name: "CoVisitation",
+        build: |_| Box::new(CoVisitation::new()),
+    },
+    RankerEntry {
+        kind: RankerKind::Pmf,
+        name: "PMF",
+        build: |emb| Box::new(Pmf::new(PmfConfig::default(), emb)),
+    },
+    RankerEntry {
+        kind: RankerKind::Bpr,
+        name: "BPR",
+        build: |emb| Box::new(Bpr::new(BprConfig::default(), emb)),
+    },
+    RankerEntry {
+        kind: RankerKind::NeuMf,
+        name: "NeuMF",
+        build: |emb| Box::new(NeuMf::new(NeuMfConfig::default(), emb)),
+    },
+    RankerEntry {
+        kind: RankerKind::AutoRec,
+        name: "AutoRec",
+        build: |emb| Box::new(AutoRec::new(AutoRecConfig::default(), emb)),
+    },
+    RankerEntry {
+        kind: RankerKind::Gru4Rec,
+        name: "GRU4Rec",
+        build: |emb| Box::new(Gru4Rec::new(Gru4RecConfig::default(), emb)),
+    },
+    RankerEntry {
+        kind: RankerKind::Ngcf,
+        name: "NGCF",
+        build: |emb| Box::new(Ngcf::new(NgcfConfig::default(), emb)),
+    },
+];
+
 impl RankerKind {
     /// All testbeds in the paper's column order (Table III).
     pub const ALL: [RankerKind; 8] = [
@@ -99,42 +160,59 @@ impl RankerKind {
         RankerKind::Ngcf,
     ];
 
-    pub fn name(self) -> &'static str {
-        match self {
-            RankerKind::ItemPop => "ItemPop",
-            RankerKind::CoVisitation => "CoVisitation",
-            RankerKind::Pmf => "PMF",
-            RankerKind::Bpr => "BPR",
-            RankerKind::NeuMf => "NeuMF",
-            RankerKind::AutoRec => "AutoRec",
-            RankerKind::Gru4Rec => "GRU4Rec",
-            RankerKind::Ngcf => "NGCF",
-        }
+    /// All testbeds, as an iterator (registry order).
+    pub fn all() -> impl ExactSizeIterator<Item = RankerKind> + Clone {
+        REGISTRY.iter().map(|e| e.kind)
     }
 
-    /// Parses the (case-insensitive) ranker name.
-    pub fn parse(s: &str) -> Option<Self> {
-        Self::ALL
+    fn entry(self) -> &'static RankerEntry {
+        REGISTRY
             .iter()
-            .copied()
-            .find(|k| k.name().eq_ignore_ascii_case(s))
+            .find(|e| e.kind == self)
+            .expect("every RankerKind is registered")
+    }
+
+    pub fn name(self) -> &'static str {
+        self.entry().name
     }
 
     /// Instantiates an untrained ranker with default hyperparameters
     /// sized for `view` (embedding tables reserve room for
     /// `reserve_attackers` injected accounts).
     pub fn build(self, view: &LogView<'_>, reserve_attackers: u32) -> Box<dyn Ranker> {
-        let emb = EmbeddingConfig::for_view(view, reserve_attackers);
-        match self {
-            RankerKind::ItemPop => Box::new(ItemPop::new()),
-            RankerKind::CoVisitation => Box::new(CoVisitation::new()),
-            RankerKind::Pmf => Box::new(Pmf::new(PmfConfig::default(), emb)),
-            RankerKind::Bpr => Box::new(Bpr::new(BprConfig::default(), emb)),
-            RankerKind::NeuMf => Box::new(NeuMf::new(NeuMfConfig::default(), emb)),
-            RankerKind::AutoRec => Box::new(AutoRec::new(AutoRecConfig::default(), emb)),
-            RankerKind::Gru4Rec => Box::new(Gru4Rec::new(Gru4RecConfig::default(), emb)),
-            RankerKind::Ngcf => Box::new(Ngcf::new(NgcfConfig::default(), emb)),
+        (self.entry().build)(EmbeddingConfig::for_view(view, reserve_attackers))
+    }
+}
+
+/// Error from parsing an unknown ranker name; lists the valid ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownRanker(pub String);
+
+impl std::fmt::Display for UnknownRanker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown ranker `{}` (expected one of: ", self.0)?;
+        for (i, e) in REGISTRY.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(e.name)?;
         }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for UnknownRanker {}
+
+impl std::str::FromStr for RankerKind {
+    type Err = UnknownRanker;
+
+    /// Case-insensitive lookup by registry name.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        REGISTRY
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(s))
+            .map(|e| e.kind)
+            .ok_or_else(|| UnknownRanker(s.to_string()))
     }
 }
 
@@ -151,9 +229,22 @@ mod tests {
     #[test]
     fn parse_round_trips() {
         for kind in RankerKind::ALL {
-            assert_eq!(RankerKind::parse(kind.name()), Some(kind));
-            assert_eq!(RankerKind::parse(&kind.name().to_lowercase()), Some(kind));
+            assert_eq!(kind.name().parse(), Ok(kind));
+            assert_eq!(kind.name().to_lowercase().parse(), Ok(kind));
         }
-        assert_eq!(RankerKind::parse("nope"), None);
+        assert_eq!(
+            "nope".parse::<RankerKind>(),
+            Err(UnknownRanker("nope".into()))
+        );
+        assert!("nope"
+            .parse::<RankerKind>()
+            .unwrap_err()
+            .to_string()
+            .contains("GRU4Rec"));
+    }
+
+    #[test]
+    fn registry_matches_all_const() {
+        assert!(RankerKind::all().eq(RankerKind::ALL));
     }
 }

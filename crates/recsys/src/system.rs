@@ -9,13 +9,47 @@
 //!   the paper's `DataPoisoning` routine: the clean ranker is snapshot-
 //!   cloned, warm-updated with the poisoned log, and polled for
 //!   recommendations. Nothing about the ranker leaks out.
+//! * [`BlackBoxSystem::observe_batch`] — the same observation for a
+//!   whole batch of candidate poisons at once, fanned out over a
+//!   worker pool. Seeds are assigned per slot *before* dispatch, so
+//!   the results are identical for any thread count.
 //! * [`BlackBoxSystem::public_info`] — item count, target ids, and item
 //!   popularity (the paper allows crawling "basic item information like
 //!   item popularity").
+//!
+//! ## Thread safety
+//!
+//! `BlackBoxSystem` is [`Sync`]: the frozen clean ranker is never
+//! mutated after [`BlackBoxSystem::build`] (observations fine-tune a
+//! clone), the dataset and protocol are immutable, and the only
+//! mutable state — the observation counter that derives per-query
+//! seeds — is an [`AtomicU64`]. Concurrent observers therefore draw
+//! disjoint seeds and share everything else read-only, which is what
+//! lets [`BlackBoxSystem::observe_batch`] score a training step's
+//! episodes in parallel.
 
-use crate::data::{Dataset, ItemId, LogView, Trajectory};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::data::{Dataset, ItemId, LogView, Trajectory, UserId};
 use crate::eval::EvalProtocol;
 use crate::rankers::{common::child_seed, Ranker};
+
+/// A configuration value failed validation at construction time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field, e.g. `"top_k"`.
+    pub field: &'static str,
+    /// What about it is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Harness configuration.
 #[derive(Clone, Debug)]
@@ -44,6 +78,79 @@ impl Default for SystemConfig {
     }
 }
 
+impl SystemConfig {
+    /// A validating builder seeded with the paper defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builds a [`SystemConfig`], rejecting values that would otherwise
+/// surface as asserts or empty evaluations mid-experiment.
+#[derive(Clone, Debug)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    pub fn eval_users(mut self, eval_users: usize) -> Self {
+        self.cfg.eval_users = eval_users;
+        self
+    }
+
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.cfg.top_k = top_k;
+        self
+    }
+
+    pub fn n_candidates(mut self, n_candidates: usize) -> Self {
+        self.cfg.n_candidates = n_candidates;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn reserve_attackers(mut self, reserve_attackers: u32) -> Self {
+        self.cfg.reserve_attackers = reserve_attackers;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.eval_users == 0 {
+            return Err(ConfigError {
+                field: "eval_users",
+                message: "RecNum over zero users is always zero".into(),
+            });
+        }
+        if cfg.top_k == 0 {
+            return Err(ConfigError {
+                field: "top_k",
+                message: "empty recommendation lists make every attack score zero".into(),
+            });
+        }
+        if cfg.n_candidates == 0 {
+            return Err(ConfigError {
+                field: "n_candidates",
+                message: "candidate sets must contain at least one original item".into(),
+            });
+        }
+        if cfg.reserve_attackers == 0 {
+            return Err(ConfigError {
+                field: "reserve_attackers",
+                message: "no attacker accounts reserved; every injection would be rejected".into(),
+            });
+        }
+        Ok(cfg)
+    }
+}
+
 /// What the paper allows an attacker to crawl about the system.
 #[derive(Clone, Debug)]
 pub struct PublicInfo {
@@ -55,6 +162,23 @@ pub struct PublicInfo {
     pub popularity: Vec<u32>,
 }
 
+/// The outcome of one black-box observation: the paper's RecNum
+/// reward, the retraining seed that produced it, and (when requested
+/// through [`BlackBoxSystem::observe_recommendations`]) the full
+/// per-user recommendation lists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observation {
+    /// `RecNum = Σ_u |L_u ∩ I_t|` after injecting the poison.
+    pub rec_num: u32,
+    /// The fine-tuning seed used for this observation. Replaying the
+    /// same poison through [`BlackBoxSystem::observe_seeded`] with this
+    /// seed reproduces the observation exactly.
+    pub seed: u64,
+    /// Per-user recommendation lists, present only on the analysis
+    /// paths that ask for them (never visible to the attack agent).
+    pub recommendations: Option<Vec<(UserId, Vec<ItemId>)>>,
+}
+
 /// A dataset + fitted clean ranker + evaluation protocol, exposing only
 /// black-box poisoning access.
 pub struct BlackBoxSystem {
@@ -63,8 +187,10 @@ pub struct BlackBoxSystem {
     protocol: EvalProtocol,
     cfg: SystemConfig,
     /// Monotone counter so successive observations fine-tune with
-    /// fresh (but reproducible) randomness.
-    observation: std::cell::Cell<u64>,
+    /// fresh (but reproducible) randomness. Atomic so concurrent
+    /// observers draw disjoint seed streams; see the module docs for
+    /// the `Sync` contract.
+    observation: AtomicU64,
 }
 
 impl BlackBoxSystem {
@@ -79,7 +205,7 @@ impl BlackBoxSystem {
             clean: ranker,
             protocol,
             cfg,
-            observation: std::cell::Cell::new(0),
+            observation: AtomicU64::new(0),
         }
     }
 
@@ -120,48 +246,137 @@ impl BlackBoxSystem {
         self.protocol.max_rec_num(&self.base)
     }
 
-    /// The paper's `DataPoisoning(D^p)` + RecNum observation: injects
-    /// `poison`, retrains (warm start from the clean snapshot), and
-    /// returns the number of page views of the target set.
-    ///
-    /// Each call uses a fresh deterministic seed stream, so repeated
-    /// observations of the same poison differ only by retraining noise
-    /// — exactly the stochastic reward the RL agent must cope with.
-    pub fn inject_and_observe(&self, poison: &[Trajectory]) -> u32 {
+    /// The seed for the `ordinal`-th observation of this system's
+    /// lifetime. Centralizing this mapping is what makes sequential
+    /// and batched observation orders bit-identical.
+    fn seed_for_ordinal(&self, ordinal: u64) -> u64 {
+        child_seed(self.cfg.seed, 1000 + ordinal)
+    }
+
+    fn check_budget(&self, poison: &[Trajectory]) {
         assert!(
             poison.len() as u32 <= self.cfg.reserve_attackers,
             "{} attackers injected but only {} reserved",
             poison.len(),
             self.cfg.reserve_attackers
         );
-        let obs = self.observation.get();
-        self.observation.set(obs + 1);
-        self.inject_and_observe_seeded(poison, child_seed(self.cfg.seed, 1000 + obs))
     }
 
-    /// Deterministic variant used by tests and variance studies.
-    pub fn inject_and_observe_seeded(&self, poison: &[Trajectory], seed: u64) -> u32 {
+    /// The single seeded observation core every public entry point
+    /// reduces to: snapshot the clean ranker, warm-update it with the
+    /// poisoned log, and read the target set's exposure.
+    fn observe_core(&self, poison: &[Trajectory], seed: u64, with_lists: bool) -> Observation {
         let mut ranker = self.clean.boxed_clone();
         let view = LogView::new(&self.base, poison);
         ranker.fine_tune(&view, seed);
-        self.protocol.rec_num(&*ranker, &self.base)
+        let rec_num = self.protocol.rec_num(&*ranker, &self.base);
+        let recommendations = with_lists.then(|| {
+            self.protocol
+                .eval_users()
+                .iter()
+                .map(|&u| (u, self.protocol.recommend(&*ranker, &self.base, u)))
+                .collect()
+        });
+        Observation {
+            rec_num,
+            seed,
+            recommendations,
+        }
+    }
+
+    /// One observation under the system's own seed stream. Each call
+    /// consumes one seed, so repeated observations of the same poison
+    /// differ only by retraining noise — exactly the stochastic reward
+    /// the RL agent must cope with.
+    pub fn observe(&self, poison: &[Trajectory]) -> Observation {
+        self.check_budget(poison);
+        let ordinal = self.observation.fetch_add(1, Ordering::Relaxed);
+        self.observe_core(poison, self.seed_for_ordinal(ordinal), false)
+    }
+
+    /// Deterministic observation with an explicit fine-tuning seed,
+    /// used by tests and variance studies. Does not consume the
+    /// system's seed stream.
+    pub fn observe_seeded(&self, poison: &[Trajectory], seed: u64) -> Observation {
+        self.observe_core(poison, seed, false)
+    }
+
+    /// [`BlackBoxSystem::observe_seeded`] plus the full per-user
+    /// recommendation lists (an analysis-side privilege the attack
+    /// agent never gets).
+    pub fn observe_recommendations(&self, poison: &[Trajectory], seed: u64) -> Observation {
+        self.observe_core(poison, seed, true)
+    }
+
+    /// Observes every poison in `batch`, fanning the independent
+    /// retrains out over the [`runtime::global`] worker pool with at
+    /// most `threads` in flight.
+    ///
+    /// Each slot's seed is drawn from the system's observation counter
+    /// *before* any work is dispatched: slot `i` of this call behaves
+    /// exactly like the `i`-th in a run of sequential
+    /// [`BlackBoxSystem::observe`] calls, and the returned vector is
+    /// bit-identical for every `threads` value (including 1).
+    pub fn observe_batch<P>(&self, batch: &[P], threads: usize) -> Vec<Observation>
+    where
+        P: AsRef<[Trajectory]> + Sync,
+    {
+        self.observe_batch_on(runtime::global(), batch, threads)
+    }
+
+    /// [`BlackBoxSystem::observe_batch`] on an explicit pool (tests use
+    /// this to prove thread-count independence).
+    pub fn observe_batch_on<P>(
+        &self,
+        pool: &runtime::WorkerPool,
+        batch: &[P],
+        threads: usize,
+    ) -> Vec<Observation>
+    where
+        P: AsRef<[Trajectory]> + Sync,
+    {
+        for poison in batch {
+            self.check_budget(poison.as_ref());
+        }
+        let base = self
+            .observation
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let jobs: Vec<Box<dyn FnOnce() -> Observation + Send + '_>> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, poison)| {
+                let seed = self.seed_for_ordinal(base + i as u64);
+                Box::new(move || self.observe_core(poison.as_ref(), seed, false))
+                    as Box<dyn FnOnce() -> Observation + Send + '_>
+            })
+            .collect();
+        pool.run(threads, jobs)
+    }
+
+    /// The paper's `DataPoisoning(D^p)` + RecNum observation. Thin
+    /// wrapper over [`BlackBoxSystem::observe`] for callers that only
+    /// want the scalar reward.
+    pub fn inject_and_observe(&self, poison: &[Trajectory]) -> u32 {
+        self.observe(poison).rec_num
+    }
+
+    /// Deterministic variant of [`BlackBoxSystem::inject_and_observe`];
+    /// thin wrapper over [`BlackBoxSystem::observe_seeded`].
+    pub fn inject_and_observe_seeded(&self, poison: &[Trajectory], seed: u64) -> u32 {
+        self.observe_seeded(poison, seed).rec_num
     }
 
     /// Full poisoned recommendation lists for analysis (not available
     /// to the attacker; used by the experiment harness for figures).
+    /// Thin wrapper over [`BlackBoxSystem::observe_recommendations`].
     pub fn poisoned_recommendations(
         &self,
         poison: &[Trajectory],
         seed: u64,
     ) -> Vec<(u32, Vec<ItemId>)> {
-        let mut ranker = self.clean.boxed_clone();
-        let view = LogView::new(&self.base, poison);
-        ranker.fine_tune(&view, seed);
-        self.protocol
-            .eval_users()
-            .iter()
-            .map(|&u| (u, self.protocol.recommend(&*ranker, &self.base, u)))
-            .collect()
+        self.observe_recommendations(poison, seed)
+            .recommendations
+            .expect("lists were requested")
     }
 }
 
@@ -183,6 +398,12 @@ mod tests {
             reserve_attackers: 8,
             ..SystemConfig::default()
         }
+    }
+
+    #[test]
+    fn system_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<BlackBoxSystem>();
     }
 
     #[test]
@@ -215,11 +436,62 @@ mod tests {
     }
 
     #[test]
+    fn sequential_and_batched_observation_agree() {
+        let target = {
+            let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+            sys.public_info().target_items[0]
+        };
+        let poisons: Vec<Vec<Trajectory>> = (1..=4)
+            .map(|reps| vec![vec![target; 4 * reps]; reps])
+            .collect();
+
+        let sequential_sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+        let sequential: Vec<Observation> =
+            poisons.iter().map(|p| sequential_sys.observe(p)).collect();
+
+        let batched_sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+        let batched = batched_sys.observe_batch(&poisons, 4);
+
+        assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn observe_seed_stream_matches_counter_formula() {
+        // The observation seed schedule is a public contract: the
+        // `i`-th observation of a system's lifetime fine-tunes with
+        // `child_seed(cfg.seed, 1000 + i)`. Replaying through the
+        // seeded path must reproduce the counter path exactly.
+        let cfg = small_cfg();
+        let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), cfg.clone());
+        let replay = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), cfg.clone());
+        let target = sys.public_info().target_items[0];
+        for i in 0..5u64 {
+            let poison: Vec<Trajectory> = vec![vec![target; 5 + i as usize]];
+            let live = sys.observe(&poison);
+            let expected_seed = child_seed(cfg.seed, 1000 + i);
+            assert_eq!(live.seed, expected_seed);
+            assert_eq!(
+                live.rec_num,
+                replay.inject_and_observe_seeded(&poison, expected_seed)
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "reserved")]
     fn too_many_attackers_panics() {
         let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
         let poison: Vec<Trajectory> = (0..9).map(|_| vec![0]).collect();
         let _ = sys.inject_and_observe(&poison);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn oversized_batch_member_panics_before_dispatch() {
+        let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+        let ok: Vec<Trajectory> = vec![vec![0]];
+        let oversized: Vec<Trajectory> = (0..9).map(|_| vec![0]).collect();
+        let _ = sys.observe_batch(&[ok, oversized], 2);
     }
 
     #[test]
@@ -233,5 +505,30 @@ mod tests {
             .target_items
             .iter()
             .all(|&t| info.popularity[t as usize] == 0));
+    }
+
+    #[test]
+    fn builder_accepts_defaults_and_rejects_zeros() {
+        let cfg = SystemConfig::builder()
+            .eval_users(32)
+            .top_k(5)
+            .seed(3)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.eval_users, 32);
+        assert_eq!(cfg.top_k, 5);
+
+        for (builder, field) in [
+            (SystemConfig::builder().eval_users(0), "eval_users"),
+            (SystemConfig::builder().top_k(0), "top_k"),
+            (SystemConfig::builder().n_candidates(0), "n_candidates"),
+            (
+                SystemConfig::builder().reserve_attackers(0),
+                "reserve_attackers",
+            ),
+        ] {
+            let err = builder.build().expect_err("must reject zero");
+            assert_eq!(err.field, field);
+        }
     }
 }

@@ -29,7 +29,11 @@ fn cfg() -> SystemConfig {
 fn snapshot_isolation_between_observations() {
     // Two observations of *different* poisons must not contaminate each
     // other: observing A then B equals observing B alone.
-    let system = BlackBoxSystem::build(toy_dataset(0), Box::new(recsys::rankers::ItemPop::new()), cfg());
+    let system = BlackBoxSystem::build(
+        toy_dataset(0),
+        Box::new(recsys::rankers::ItemPop::new()),
+        cfg(),
+    );
     let t0 = system.public_info().target_items[0];
     let t1 = system.public_info().target_items[1];
     let poison_a: Vec<Trajectory> = vec![vec![t0; 12]; 4];

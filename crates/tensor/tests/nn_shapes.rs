@@ -47,7 +47,14 @@ fn mlp_chains_dimensions() {
 fn mlp_final_activation_applies() {
     let mut rng = rng();
     let mut params = ParamSet::new();
-    let mlp = Mlp::new(&mut params, "m", &[4, 4], Activation::Relu, Activation::Sigmoid, &mut rng);
+    let mlp = Mlp::new(
+        &mut params,
+        "m",
+        &[4, 4],
+        Activation::Relu,
+        Activation::Sigmoid,
+        &mut rng,
+    );
     let mut g = Graph::new(&params);
     let x = g.input(Matrix::uniform(2, 4, 3.0, &mut rng));
     let y = mlp.forward(&mut g, x);
@@ -96,7 +103,14 @@ fn identical_seeds_build_identical_networks() {
     let build = || {
         let mut rng = StdRng::seed_from_u64(7);
         let mut params = ParamSet::new();
-        let _ = Mlp::new(&mut params, "m", &[4, 4, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let _ = Mlp::new(
+            &mut params,
+            "m",
+            &[4, 4, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         params
     };
     let a = build();

@@ -55,6 +55,7 @@ fn main() {
         },
         action_space: ActionSpaceKind::BcbtPopular,
         seed: 99,
+        threads: runtime::default_parallelism(),
     };
     let mut trainer = PoisonRecTrainer::new(cfg, &system);
     trainer.train(&system, 20);

@@ -42,6 +42,7 @@ fn quick_cfg(seed: u64) -> PoisonRecConfig {
         },
         action_space: ActionSpaceKind::BcbtPopular,
         seed,
+        threads: 2,
     }
 }
 

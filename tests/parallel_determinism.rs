@@ -1,0 +1,168 @@
+//! The parallel observation engine must be invisible in the results:
+//! same seeds ⇒ same observations, for every thread count, and the
+//! thin sequential wrappers must keep the documented seed schedule
+//! (`child_seed(cfg.seed, 1000 + i)` for the `i`-th observation).
+
+use poisonrec::{ActionSpaceKind, PoisonRecConfig, PoisonRecTrainer, PolicyConfig, PpoConfig};
+use recsys::data::{LogView, Trajectory};
+use recsys::rankers::RankerKind;
+use recsys::system::{BlackBoxSystem, Observation, SystemConfig};
+use runtime::WorkerPool;
+
+fn build_system(ranker: RankerKind, seed: u64) -> BlackBoxSystem {
+    let data = datasets::PaperDataset::Phone.generate_scaled(0.03, seed);
+    let boxed = ranker.build(&LogView::clean(&data), 16);
+    BlackBoxSystem::build(
+        data,
+        boxed,
+        SystemConfig {
+            eval_users: 48,
+            reserve_attackers: 16,
+            seed,
+            ..SystemConfig::default()
+        },
+    )
+}
+
+fn poisons(system: &BlackBoxSystem, n: usize) -> Vec<Vec<Trajectory>> {
+    let info = system.public_info();
+    (0..n)
+        .map(|i| {
+            let target = info.target_items[i % info.target_items.len()];
+            let filler = (i as u32 * 7) % info.num_items;
+            vec![vec![target, filler, target, target]; 1 + i % 4]
+        })
+        .collect()
+}
+
+#[test]
+fn observe_batch_is_thread_count_invariant() {
+    // Same batch, fresh identically-seeded systems, thread counts 1
+    // and 8 on explicit pools: the Observation vectors must be equal
+    // down to the last bit (PartialEq covers rec_num, seed, lists).
+    for ranker in [RankerKind::ItemPop, RankerKind::Bpr] {
+        let batch = poisons(&build_system(ranker, 7), 10);
+
+        let sys1 = build_system(ranker, 7);
+        let pool1 = WorkerPool::new(0);
+        let obs1: Vec<Observation> = sys1.observe_batch_on(&pool1, &batch, 1);
+
+        let sys8 = build_system(ranker, 7);
+        let pool8 = WorkerPool::new(7);
+        let obs8: Vec<Observation> = sys8.observe_batch_on(&pool8, &batch, 8);
+
+        assert_eq!(obs1, obs8, "{ranker}: thread count changed observations");
+    }
+}
+
+#[test]
+fn observe_batch_matches_sequential_wrapper_stream() {
+    // A batched call must consume exactly the same seed schedule as
+    // the same observations made one by one through the wrapper.
+    let batch = poisons(&build_system(RankerKind::ItemPop, 9), 6);
+
+    let seq_sys = build_system(RankerKind::ItemPop, 9);
+    let sequential: Vec<u32> = batch
+        .iter()
+        .map(|p| seq_sys.inject_and_observe(p))
+        .collect();
+
+    let batch_sys = build_system(RankerKind::ItemPop, 9);
+    let batched: Vec<u32> = batch_sys
+        .observe_batch(&batch, 4)
+        .into_iter()
+        .map(|o| o.rec_num)
+        .collect();
+
+    assert_eq!(sequential, batched);
+}
+
+#[test]
+fn wrapper_rewards_follow_documented_seed_formula() {
+    // The pre-batching observation contract: observation `i` of a
+    // system's lifetime retrains with `child_seed(cfg.seed, 1000 + i)`.
+    // The seeded wrapper replays it exactly.
+    let live = build_system(RankerKind::CoVisitation, 21);
+    let replay = build_system(RankerKind::CoVisitation, 21);
+    let batch = poisons(&live, 5);
+    for (i, poison) in batch.iter().enumerate() {
+        let obs = live.observe(poison);
+        let expected_seed = recsys::rankers::common::child_seed(21, 1000 + i as u64);
+        assert_eq!(obs.seed, expected_seed, "observation {i} seed drifted");
+        assert_eq!(
+            obs.rec_num,
+            replay.inject_and_observe_seeded(poison, expected_seed),
+            "observation {i} not reproducible from its seed"
+        );
+    }
+}
+
+#[test]
+fn interleaved_batches_and_singles_share_one_counter() {
+    // Mixing the batched and single-observation paths must walk the
+    // same global seed schedule as an all-sequential run.
+    let mixed = build_system(RankerKind::ItemPop, 33);
+    let sequential = build_system(RankerKind::ItemPop, 33);
+    let batch = poisons(&mixed, 7);
+
+    let mut mixed_rewards: Vec<u32> = Vec::new();
+    mixed_rewards.push(mixed.observe(&batch[0]).rec_num);
+    mixed_rewards.extend(
+        mixed
+            .observe_batch(&batch[1..4], 3)
+            .into_iter()
+            .map(|o| o.rec_num),
+    );
+    mixed_rewards.push(mixed.observe(&batch[4]).rec_num);
+    mixed_rewards.extend(
+        mixed
+            .observe_batch(&batch[5..], 2)
+            .into_iter()
+            .map(|o| o.rec_num),
+    );
+
+    let sequential_rewards: Vec<u32> = batch
+        .iter()
+        .map(|p| sequential.inject_and_observe(p))
+        .collect();
+
+    assert_eq!(mixed_rewards, sequential_rewards);
+}
+
+#[test]
+fn full_training_run_is_thread_count_invariant() {
+    // End-to-end: a short PoisonRec run against a real (BPR) system
+    // produces identical telemetry whether the scoring phase runs on
+    // one thread or eight.
+    let run = |threads: usize| {
+        let system = build_system(RankerKind::Bpr, 13);
+        let cfg = PoisonRecConfig::builder()
+            .seed(13)
+            .threads(threads)
+            .action_space(ActionSpaceKind::BcbtPopular)
+            .policy(PolicyConfig {
+                dim: 8,
+                num_attackers: 6,
+                trajectory_len: 8,
+                init_scale: 0.1,
+            })
+            .ppo(PpoConfig {
+                samples_per_step: 8,
+                batch: 8,
+                epochs: 2,
+                ..PpoConfig::default()
+            })
+            .build_for(&system)
+            .expect("valid config");
+        let mut trainer = PoisonRecTrainer::new(cfg, &system);
+        trainer.train(&system, 2).to_vec()
+    };
+    let h1 = run(1);
+    let h8 = run(8);
+    for (a, b) in h1.iter().zip(&h8) {
+        assert_eq!(a.mean_reward, b.mean_reward);
+        assert_eq!(a.max_reward, b.max_reward);
+        assert_eq!(a.ppo_signal, b.ppo_signal);
+        assert_eq!(a.target_click_ratio, b.target_click_ratio);
+    }
+}

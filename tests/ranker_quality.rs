@@ -24,7 +24,7 @@ macro_rules! quality_test {
     ($name:ident, $kind:expr, $min:expr) => {
         #[test]
         fn $name() {
-            let hr = validation_hit_rate($kind, 23);
+            let hr = validation_hit_rate($kind, 11);
             assert!(
                 hr > $min,
                 "{} hit-rate {hr:.3} not above required {} (random = {RANDOM_BASELINE})",

@@ -39,6 +39,7 @@ fn short_training_rewards(system_seed: u64, agent_seed: u64) -> Vec<f32> {
         },
         action_space: ActionSpaceKind::BcbtPopular,
         seed: agent_seed,
+        threads: 2,
     };
     let mut trainer = PoisonRecTrainer::new(cfg, &system);
     trainer
@@ -76,6 +77,7 @@ fn different_agent_seeds_diverge() {
             },
             action_space: ActionSpaceKind::BcbtPopular,
             seed: agent_seed,
+            threads: 1,
         };
         let mut trainer = PoisonRecTrainer::new(cfg, &system);
         trainer.sample_attack().trajectories

@@ -1,0 +1,234 @@
+//! Offline stand-in for the subset of `proptest` used by this
+//! workspace's property tests.
+//!
+//! Implements the `proptest! { ... }` macro form the tests use —
+//! `#![proptest_config]` header, `arg in strategy` bindings,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` — over a plain
+//! seeded-random case loop. No shrinking: a failing case panics with
+//! the sampled inputs so it can be reproduced by hand. Strategies
+//! cover what the tests need: numeric ranges and
+//! `prop::collection::vec`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the inputs don't apply; skip the case.
+    Reject(String),
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn pick(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd + Copy + Debug,
+{
+    type Value = T;
+
+    fn pick(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Vectors of `elem`-strategy values with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn pick(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.pick(rng)).collect()
+        }
+    }
+}
+
+/// `prop::...` paths as the prelude exposes them.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Macro plumbing: a generator seeded for one named test, reachable
+/// through `$crate` so caller crates need no direct `rand` dependency.
+pub fn new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Deterministic per-test seed so failures reproduce run-to-run.
+pub fn seed_for(test_name: &str) -> u64 {
+    test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::new_rng($crate::seed_for(stringify!($name)));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < cfg.cases && attempts < cfg.cases * 16 {
+                    attempts += 1;
+                    $(let $arg = $crate::Strategy::pick(&($strat), &mut rng);)*
+                    let outcome = (|| -> $crate::TestCaseResult {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed after {} cases: {}\ninputs: {:#?}",
+                                stringify!($name),
+                                accepted,
+                                msg,
+                                ($(&$arg,)*)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use super::prop;
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..9, y in -1.0f32..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vectors_respect_length(v in prop::collection::vec(0u32..5, 1..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+}
