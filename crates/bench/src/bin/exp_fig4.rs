@@ -6,6 +6,11 @@
 //! BCBT-Random below BCBT-Popular; BPlain ≈ BCBT-Popular on ItemPop and
 //! NeuMF. Regenerates `results/fig4_steam.csv` (one row per
 //! design × ranker × step) and a per-ranker summary markdown.
+//!
+//! With `--telemetry run.jsonl`, also streams a run log: one manifest
+//! line, then one `step` event per (ranker, design, step) with phase
+//! durations and the cumulative observation count, then a closing
+//! `metrics` snapshot (validated by `telemetry::validate_jsonl`).
 
 use analysis::{write_text, Table};
 use bench::{run_parallel, ExpArgs};
@@ -17,16 +22,30 @@ fn main() {
     let args = ExpArgs::parse();
     let rankers = args.ranker_list();
     let designs = ActionSpaceKind::ALL;
+    let sink = args.open_telemetry("fig4");
 
     // One job per (ranker, design): builds its own system (cells are
-    // independent) and returns the training history.
+    // independent) and returns the training history. All cells share
+    // the one telemetry sink; their step events carry ranker/design
+    // labels so the interleaved log stays separable.
     let mut jobs: Vec<Box<dyn FnOnce() -> CellResult + Send>> = Vec::new();
     for &ranker in &rankers {
         for (d_idx, &design) in designs.iter().enumerate() {
             let args = args.clone();
+            let sink = sink.clone();
             jobs.push(Box::new(move || {
                 let system = args.build_system(PaperDataset::Steam, ranker);
-                let trainer = args.train_poisonrec(&system, design, 101 + d_idx as u64);
+                let trainer = args.train_poisonrec_logged(
+                    &system,
+                    design,
+                    101 + d_idx as u64,
+                    sink.as_ref(),
+                    &[
+                        ("dataset", PaperDataset::Steam.name()),
+                        ("ranker", ranker.name()),
+                        ("design", design.name()),
+                    ],
+                );
                 CellResult {
                     ranker,
                     design,
@@ -40,6 +59,10 @@ fn main() {
         }
     }
     let results = run_parallel(args.threads, jobs);
+    if let Some(sink) = &sink {
+        sink.emit_metrics_snapshot()
+            .expect("telemetry metrics write");
+    }
 
     let mut table = Table::new(["ranker", "design", "step", "mean_recnum", "max_recnum"]);
     for cell in &results {

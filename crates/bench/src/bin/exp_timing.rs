@@ -11,8 +11,11 @@
 //! A second section times *real* full steps (BPR system retrains per
 //! episode) with the scoring phase on 1 thread vs `--threads`, showing
 //! the observation-engine speedup and that rewards stay identical.
-//! Regenerates `results/timing_threads.{csv,md}`.
+//! Regenerates `results/timing_threads.{csv,md}`. With
+//! `--telemetry run.jsonl` the real-step runs stream per-step events
+//! (labelled with their thread count) plus a closing metrics snapshot.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use analysis::{write_text, Table};
@@ -20,11 +23,12 @@ use bench::ExpArgs;
 use datasets::PaperDataset;
 use poisonrec::{
     ActionSpace, ActionSpaceKind, PoisonRecTrainer, PolicyConfig, PolicyNetwork, PpoConfig,
-    PpoUpdater,
+    PpoUpdater, StepLogger,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recsys::rankers::RankerKind;
+use telemetry::JsonlSink;
 
 fn step_time(kind: ActionSpaceKind, num_items: u32, args: &ExpArgs, episodes: usize) -> f64 {
     let popularity: Vec<u32> = (0..num_items).map(|i| num_items - i).collect();
@@ -76,7 +80,12 @@ fn step_time(kind: ActionSpaceKind, num_items: u32, args: &ExpArgs, episodes: us
 /// Times `steps` real training steps (every episode retrains a BPR
 /// system) with the scoring phase capped at `threads`; returns
 /// (seconds, final mean reward).
-fn real_steps_time(args: &ExpArgs, threads: usize, steps: usize) -> (f64, f32) {
+fn real_steps_time(
+    args: &ExpArgs,
+    threads: usize,
+    steps: usize,
+    sink: Option<&Arc<JsonlSink>>,
+) -> (f64, f32) {
     // Size the cell so the M per-episode system retrains dominate the
     // step (that is what the thread knob parallelizes); keep the
     // policy small so sampling + PPO stay in the noise.
@@ -97,6 +106,15 @@ fn real_steps_time(args: &ExpArgs, threads: usize, steps: usize) -> (f64, f32) {
         cfg
     };
     let mut trainer = PoisonRecTrainer::new(cfg, &system);
+    if let Some(sink) = sink {
+        trainer.attach_logger(
+            StepLogger::new(Arc::clone(sink))
+                .label("dataset", PaperDataset::Phone.name())
+                .label("ranker", RankerKind::Bpr.name())
+                .label("design", ActionSpaceKind::BcbtPopular.name())
+                .label("threads", threads),
+        );
+    }
     let start = Instant::now();
     trainer.train(&system, steps);
     let elapsed = start.elapsed().as_secs_f64();
@@ -106,6 +124,7 @@ fn real_steps_time(args: &ExpArgs, threads: usize, steps: usize) -> (f64, f32) {
 
 fn main() {
     let args = ExpArgs::parse();
+    let sink = args.open_telemetry("timing");
     let sizes = [3_000u32, 10_000, 30_000];
     let episodes = args.episodes.min(8); // timing needs few episodes
 
@@ -138,7 +157,7 @@ fn main() {
         args.episodes
     );
     let mut threads_table = Table::new(["threads", "time (s)", "speedup", "mean RecNum"]);
-    let (base_time, base_reward) = real_steps_time(&args, 1, steps);
+    let (base_time, base_reward) = real_steps_time(&args, 1, steps, sink.as_ref());
     let mut thread_counts = vec![1usize, 2, args.threads];
     thread_counts.sort_unstable();
     thread_counts.dedup();
@@ -146,7 +165,7 @@ fn main() {
         let (time, reward) = if threads == 1 {
             (base_time, base_reward)
         } else {
-            real_steps_time(&args, threads, steps)
+            real_steps_time(&args, threads, steps, sink.as_ref())
         };
         assert_eq!(
             reward, base_reward,
@@ -175,4 +194,8 @@ fn main() {
         "wrote {}",
         args.out_dir.join("timing_threads.{{csv,md}}").display()
     );
+    if let Some(sink) = &sink {
+        sink.emit_metrics_snapshot()
+            .expect("telemetry metrics write");
+    }
 }

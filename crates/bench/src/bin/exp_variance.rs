@@ -5,12 +5,16 @@
 //! which explains why Eq. 8's batch normalization matters and how many
 //! episodes per step are needed.
 //!
-//! Writes `results/variance.{csv,md}`.
+//! Writes `results/variance.{csv,md}`. With `--telemetry run.jsonl`,
+//! streams one `observation` event per (ranker, repetition) — the
+//! observed RecNum plus its wall-clock cost — and a closing metrics
+//! snapshot.
 
 use analysis::{write_text, Table};
 use baselines::BaselineKind;
 use bench::ExpArgs;
 use datasets::PaperDataset;
+use telemetry::{Json, Stopwatch};
 
 use tensor::util::{mean, std_dev};
 
@@ -18,6 +22,7 @@ const REPS: u64 = 8;
 
 fn main() {
     let args = ExpArgs::parse();
+    let sink = args.open_telemetry("variance");
     let mut table = Table::new(["ranker", "mean_recnum", "std", "coeff_of_variation"]);
     for ranker in args.ranker_list() {
         let system = args.build_system(PaperDataset::Steam, ranker);
@@ -25,7 +30,20 @@ fn main() {
         let mut attack = BaselineKind::Popular.build(args.seed);
         let poison = attack.generate(&system, args.attackers, args.trajectory);
         let samples: Vec<f32> = (0..REPS)
-            .map(|rep| system.inject_and_observe_seeded(&poison, 500 + rep) as f32)
+            .map(|rep| {
+                let watch = Stopwatch::start();
+                let rec_num = system.inject_and_observe_seeded(&poison, 500 + rep);
+                if let Some(sink) = &sink {
+                    let event = Json::obj()
+                        .field("type", "observation")
+                        .field("ranker", ranker.name())
+                        .field("rep", rep)
+                        .field("rec_num", u64::from(rec_num))
+                        .field("observe_secs", watch.elapsed_secs());
+                    sink.emit(&event).expect("telemetry observation write");
+                }
+                rec_num as f32
+            })
             .collect();
         let (mu, sigma) = (mean(&samples), std_dev(&samples));
         let cv = if mu > 0.0 { sigma / mu } else { 0.0 };
@@ -51,4 +69,8 @@ fn main() {
         "wrote {}",
         args.out_dir.join("variance.{{csv,md}}").display()
     );
+    if let Some(sink) = &sink {
+        sink.emit_metrics_snapshot()
+            .expect("telemetry metrics write");
+    }
 }

@@ -11,11 +11,15 @@
 pub mod paper;
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use datasets::PaperDataset;
-use poisonrec::{ActionSpaceKind, PoisonRecConfig, PoisonRecTrainer, PolicyConfig, PpoConfig};
+use poisonrec::{
+    ActionSpaceKind, PoisonRecConfig, PoisonRecTrainer, PolicyConfig, PpoConfig, StepLogger,
+};
 use recsys::rankers::RankerKind;
 use recsys::system::{BlackBoxSystem, SystemConfig};
+use telemetry::{Json, JsonlSink};
 
 /// Shared command-line arguments for all experiment binaries.
 #[derive(Clone, Debug)]
@@ -44,6 +48,9 @@ pub struct ExpArgs {
     pub datasets: Vec<PaperDataset>,
     /// Worker threads for cell-parallel experiments.
     pub threads: usize,
+    /// When set, stream a JSONL run log (manifest + per-step events)
+    /// to this path, next to the CSV artifacts.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for ExpArgs {
@@ -63,6 +70,7 @@ impl Default for ExpArgs {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            telemetry: None,
         }
     }
 }
@@ -94,6 +102,7 @@ impl ExpArgs {
                 "--seed" => args.seed = take("--seed").parse().expect("seed"),
                 "--out" => args.out_dir = PathBuf::from(take("--out")),
                 "--threads" => args.threads = take("--threads").parse().expect("threads"),
+                "--telemetry" => args.telemetry = Some(PathBuf::from(take("--telemetry"))),
                 "--rankers" => {
                     args.rankers = take("--rankers")
                         .split(',')
@@ -128,7 +137,7 @@ impl ExpArgs {
                     eprintln!(
                         "flags: --scale F --steps N --episodes M --attackers N --trajectory T \
                          --dim E --eval-users U --seed S --out DIR --threads K \
-                         --rankers A,B --datasets X,Y --paper"
+                         --telemetry FILE.jsonl --rankers A,B --datasets X,Y --paper"
                     );
                     std::process::exit(0);
                 }
@@ -205,9 +214,74 @@ impl ExpArgs {
         space: ActionSpaceKind,
         seed_offset: u64,
     ) -> PoisonRecTrainer {
+        self.train_poisonrec_logged(system, space, seed_offset, None, &[])
+    }
+
+    /// [`ExpArgs::train_poisonrec`] with an optional telemetry sink:
+    /// when `sink` is set, every training step is streamed as one
+    /// JSONL event tagged with `labels` (so parallel cells sharing the
+    /// sink stay distinguishable).
+    pub fn train_poisonrec_logged(
+        &self,
+        system: &BlackBoxSystem,
+        space: ActionSpaceKind,
+        seed_offset: u64,
+        sink: Option<&Arc<JsonlSink>>,
+        labels: &[(&str, &str)],
+    ) -> PoisonRecTrainer {
         let mut trainer = PoisonRecTrainer::new(self.poisonrec_config(space, seed_offset), system);
+        if let Some(sink) = sink {
+            let mut logger = StepLogger::new(Arc::clone(sink));
+            for &(key, value) in labels {
+                logger = logger.label(key, value);
+            }
+            trainer.attach_logger(logger);
+        }
         trainer.train(system, self.steps);
         trainer
+    }
+
+    /// Opens the `--telemetry` run log, if requested, and writes its
+    /// manifest line: the experiment name plus every configuration
+    /// knob a reader needs to interpret the step events (notably
+    /// `episodes`, which the JSONL validator checks the per-step
+    /// observation count against).
+    pub fn open_telemetry(&self, experiment: &str) -> Option<Arc<JsonlSink>> {
+        let path = self.telemetry.as_ref()?;
+        let sink = JsonlSink::create(path)
+            .unwrap_or_else(|err| panic!("cannot create telemetry log {}: {err}", path.display()));
+        let manifest = Json::obj()
+            .field("type", "manifest")
+            .field("experiment", experiment)
+            .field("scale", self.scale)
+            .field("steps", self.steps)
+            .field("episodes", self.episodes)
+            .field("attackers", self.attackers)
+            .field("trajectory", self.trajectory)
+            .field("dim", self.dim)
+            .field("eval_users", self.eval_users)
+            .field("seed", self.seed)
+            .field("threads", self.threads)
+            .field(
+                "rankers",
+                Json::Arr(
+                    self.ranker_list()
+                        .iter()
+                        .map(|r| Json::from(r.name()))
+                        .collect(),
+                ),
+            )
+            .field(
+                "datasets",
+                Json::Arr(
+                    self.dataset_list()
+                        .iter()
+                        .map(|d| Json::from(d.name()))
+                        .collect(),
+                ),
+            );
+        sink.emit(&manifest).expect("telemetry manifest write");
+        Some(Arc::new(sink))
     }
 }
 

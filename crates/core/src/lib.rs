@@ -37,4 +37,6 @@ pub mod trainer;
 pub use action::{ActionSpace, ActionSpaceKind, Choice, ChoiceSet, ItemTree};
 pub use policy::{Episode, PolicyConfig, PolicyNetwork};
 pub use ppo::{normalize_rewards, PpoConfig, PpoUpdater};
-pub use trainer::{PoisonRecConfig, PoisonRecConfigBuilder, PoisonRecTrainer, StepStats};
+pub use trainer::{
+    PoisonRecConfig, PoisonRecConfigBuilder, PoisonRecTrainer, StepLogger, StepStats,
+};

@@ -17,11 +17,14 @@
 //! rewards — and therefore the whole training run — are bit-identical
 //! for every `threads` value.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use recsys::system::{BlackBoxSystem, ConfigError};
 use recsys::Trajectory;
+use telemetry::{Json, JsonlSink, Stopwatch};
 
 use crate::action::{ActionSpace, ActionSpaceKind};
 use crate::policy::{Episode, PolicyConfig, PolicyNetwork};
@@ -144,7 +147,7 @@ impl PoisonRecConfigBuilder {
     }
 }
 
-/// Per-step training telemetry (drives Figure 4).
+/// Per-step training telemetry (drives Figure 4 and the run logs).
 #[derive(Copy, Clone, Debug)]
 pub struct StepStats {
     pub step: usize,
@@ -156,6 +159,60 @@ pub struct StepStats {
     pub target_click_ratio: f64,
     /// Mean |weight| diagnostic from the PPO epochs.
     pub ppo_signal: f32,
+    /// Wall-clock seconds of the *sample* phase: drawing the step's
+    /// `M` episodes from the policy (sequential, owns the trainer RNG).
+    pub sample_secs: f64,
+    /// Wall-clock seconds of the *score* phase: the `M` black-box
+    /// system retrains, fanned over [`PoisonRecConfig::threads`].
+    pub score_secs: f64,
+    /// Wall-clock seconds of the *update* phase: the `K` PPO epochs.
+    pub update_secs: f64,
+    /// Cumulative black-box observations this trainer has spent over
+    /// its lifetime — the attack's query budget, `M` per step. After
+    /// step `s` (0-based) this is exactly `M * (s + 1)`.
+    pub observations: u64,
+}
+
+/// Streams one JSONL event line per [`PoisonRecTrainer::step`] into a
+/// shared [`JsonlSink`], tagged with caller-supplied labels (dataset,
+/// ranker, action-space design, ...) so many concurrent trainers can
+/// interleave in one run log. See DESIGN.md §5b for the schema.
+pub struct StepLogger {
+    sink: Arc<JsonlSink>,
+    labels: Vec<(String, Json)>,
+}
+
+impl StepLogger {
+    pub fn new(sink: Arc<JsonlSink>) -> Self {
+        Self {
+            sink,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Adds a constant label emitted on every step event.
+    pub fn label(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.labels.push((key.to_string(), value.into()));
+        self
+    }
+
+    fn log(&self, stats: &StepStats) {
+        let mut line = Json::obj().field("type", "step");
+        for (key, value) in &self.labels {
+            line = line.field(key, value.clone());
+        }
+        let line = line
+            .field("step", stats.step)
+            .field("mean_reward", stats.mean_reward)
+            .field("max_reward", stats.max_reward)
+            .field("target_click_ratio", stats.target_click_ratio)
+            .field("ppo_signal", stats.ppo_signal)
+            .field("sample_secs", stats.sample_secs)
+            .field("score_secs", stats.score_secs)
+            .field("update_secs", stats.update_secs)
+            .field("observations", stats.observations);
+        self.sink.emit(&line).expect("telemetry sink write failed");
+    }
 }
 
 /// The attack agent: policy + action space + PPO state + history.
@@ -167,6 +224,10 @@ pub struct PoisonRecTrainer {
     rng: StdRng,
     history: Vec<StepStats>,
     best: Option<Episode>,
+    /// Lifetime observation spend (`M` per step); see
+    /// [`StepStats::observations`].
+    observations: u64,
+    logger: Option<StepLogger>,
 }
 
 impl PoisonRecTrainer {
@@ -191,7 +252,16 @@ impl PoisonRecTrainer {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xA11CE),
             history: Vec::new(),
             best: None,
+            observations: 0,
+            logger: None,
         }
+    }
+
+    /// Streams every future step's [`StepStats`] to `logger`'s JSONL
+    /// sink. Telemetry is write-only: attaching a logger cannot change
+    /// any sampled episode or reward.
+    pub fn attach_logger(&mut self, logger: StepLogger) {
+        self.logger = Some(logger);
     }
 
     pub fn config(&self) -> &PoisonRecConfig {
@@ -223,17 +293,22 @@ impl PoisonRecTrainer {
         // Sample phase (sequential): the only consumer of the trainer
         // RNG, so the policy's sampling stream never depends on how
         // the scoring phase is scheduled.
+        let sample_watch = Stopwatch::start();
         let mut episodes: Vec<Episode> = (0..m)
             .map(|_| self.policy.sample_episode(&self.space, &mut self.rng))
             .collect();
+        let sample_secs = sample_watch.elapsed_secs();
 
         // Scoring phase (parallel): M independent system retrains.
+        let score_watch = Stopwatch::start();
         let batch: Vec<&[Trajectory]> =
             episodes.iter().map(|e| e.trajectories.as_slice()).collect();
         let observations = system.observe_batch(&batch, self.cfg.threads);
         for (ep, obs) in episodes.iter_mut().zip(&observations) {
             ep.reward = obs.rec_num as f32;
         }
+        let score_secs = score_watch.elapsed_secs();
+        self.observations += observations.len() as u64;
 
         // Track the step's champion by index; clone at most once per
         // step, and only when it beats the all-time best.
@@ -253,6 +328,7 @@ impl PoisonRecTrainer {
             }
         }
 
+        let update_watch = Stopwatch::start();
         let mut signal_sum = 0.0f32;
         for _ in 0..self.cfg.ppo.epochs {
             let mut idx: Vec<usize> = (0..episodes.len()).collect();
@@ -270,6 +346,8 @@ impl PoisonRecTrainer {
                 .update_batch(&mut self.policy, &batch, &advantages);
         }
 
+        let update_secs = update_watch.elapsed_secs();
+
         let rewards: Vec<f32> = episodes.iter().map(|e| e.reward).collect();
         let num_items = system.public_info().num_items;
         let stats = StepStats {
@@ -282,7 +360,22 @@ impl PoisonRecTrainer {
                 .sum::<f64>()
                 / episodes.len() as f64,
             ppo_signal: signal_sum / self.cfg.ppo.epochs.max(1) as f32,
+            sample_secs,
+            score_secs,
+            update_secs,
+            observations: self.observations,
         };
+        telemetry::metrics::counter("trainer_steps_total").inc();
+        for (name, secs) in [
+            ("trainer_sample_seconds", sample_secs),
+            ("trainer_score_seconds", score_secs),
+            ("trainer_update_seconds", update_secs),
+        ] {
+            telemetry::metrics::histogram(name, &telemetry::TIME_BUCKETS).record(secs);
+        }
+        if let Some(logger) = &self.logger {
+            logger.log(&stats);
+        }
         self.history.push(stats);
         stats
     }
@@ -357,6 +450,32 @@ mod tests {
         assert!(history
             .iter()
             .all(|s| (0.0..=1.0).contains(&s.target_click_ratio)));
+    }
+
+    #[test]
+    fn step_stats_track_phases_and_query_budget() {
+        let system = tiny_system();
+        let cfg = tiny_cfg(ActionSpaceKind::BcbtPopular);
+        let m = cfg.ppo.samples_per_step as u64;
+        let mut trainer = PoisonRecTrainer::new(cfg, &system);
+        let history = trainer.train(&system, 3).to_vec();
+        for (s, stats) in history.iter().enumerate() {
+            assert_eq!(
+                stats.observations,
+                m * (s as u64 + 1),
+                "each step costs exactly M observations"
+            );
+            for (phase, secs) in [
+                ("sample", stats.sample_secs),
+                ("score", stats.score_secs),
+                ("update", stats.update_secs),
+            ] {
+                assert!(
+                    secs.is_finite() && secs >= 0.0,
+                    "{phase} phase duration invalid: {secs}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -33,11 +33,24 @@ impl EvalProtocol {
     /// Samples `n_users` distinct evaluation users (all users when
     /// `n_users >= num_users`). `seed` fixes both the user sample and
     /// every later candidate draw.
+    ///
+    /// # Panics
+    ///
+    /// If `n_users == 0`. RecNum over zero users is identically zero,
+    /// so a zero here is always a caller bug; [`crate::system::SystemConfigBuilder`]
+    /// rejects it as a [`crate::system::ConfigError`], and this
+    /// assert keeps the direct-construction path honest instead of
+    /// silently evaluating one user.
     pub fn sample(base: &Dataset, n_users: usize, seed: u64) -> Self {
+        assert!(
+            n_users > 0,
+            "EvalProtocol::sample: n_users must be at least 1 \
+             (SystemConfigBuilder rejects eval_users == 0 for the same reason)"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut users: Vec<UserId> = (0..base.num_users()).collect();
         users.shuffle(&mut rng);
-        users.truncate(n_users.max(1));
+        users.truncate(n_users);
         users.sort_unstable();
         Self {
             eval_users: users,
@@ -107,27 +120,40 @@ impl EvalProtocol {
 }
 
 /// Indices of the `k` highest-scoring candidates, by score descending.
+///
+/// Empty candidates or `k == 0` yield an empty list. Scores compare
+/// under the IEEE total order ([`f32::total_cmp`]), so the selection
+/// is well-defined even for NaN scores (a NaN sorts above `+∞` and so
+/// wins — a ranker emitting NaN is buggy, but selection stays
+/// deterministic rather than undefined): the result always agrees
+/// with sorting all candidates by score and truncating to `k`.
 pub fn top_k_items(candidates: &[ItemId], scores: &[f32], k: usize) -> Vec<ItemId> {
     debug_assert_eq!(candidates.len(), scores.len());
+    if k == 0 || candidates.is_empty() {
+        // `select_nth_unstable_by(k - 1, ..)` below needs a valid
+        // index: position 0 of an empty slice panics, and k == 0 would
+        // partition the whole slice only to truncate everything away.
+        return Vec::new();
+    }
+    let by_score_desc = |&a: &usize, &b: &usize| scores[b].total_cmp(&scores[a]);
     let mut idx: Vec<usize> = (0..candidates.len()).collect();
     let k = k.min(idx.len());
-    idx.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.select_nth_unstable_by(k - 1, by_score_desc);
     idx.truncate(k);
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_unstable_by(by_score_desc);
     idx.into_iter().map(|i| candidates[i]).collect()
 }
 
 /// Hit-rate@k on a hold-out split: the held-out item competes against
 /// `n_negatives` random unseen items; a hit is scored when it lands in
 /// the top-k. Used to verify every ranker actually recommends.
+///
+/// The negatives are drawn *distinct* by rejection sampling, so the
+/// catalog can supply at most `num_items - 1` of them (every original
+/// item except the held-out one). Larger requests are clamped to that
+/// bound — without the clamp the sampler would spin forever on small
+/// catalogs — which only makes the measurement easier (fewer
+/// competitors), never wrong.
 pub fn hit_rate_at_k(
     ranker: &dyn Ranker,
     base: &Dataset,
@@ -139,6 +165,7 @@ pub fn hit_rate_at_k(
     if holdout.is_empty() {
         return 0.0;
     }
+    let n_negatives = n_negatives.min((base.num_items() as usize).saturating_sub(1));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut hits = 0usize;
     for &(user, held) in holdout {
@@ -221,6 +248,57 @@ mod tests {
         let scores = vec![0.1, 0.9, 0.5, 0.7];
         assert_eq!(top_k_items(&items, &scores, 2), vec![20, 40]);
         assert_eq!(top_k_items(&items, &scores, 10).len(), 4);
+    }
+
+    #[test]
+    fn top_k_of_empty_or_zero_k_is_empty() {
+        // Regression: `select_nth_unstable_by(k - 1, ..)` used to index
+        // position 0 of the empty index slice and panic.
+        assert_eq!(top_k_items(&[], &[], 5), Vec::<u32>::new());
+        assert_eq!(top_k_items(&[], &[], 0), Vec::<u32>::new());
+        let items = vec![1, 2, 3];
+        let scores = vec![0.5, 0.1, 0.9];
+        assert_eq!(top_k_items(&items, &scores, 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn recommend_with_zero_top_k_is_empty() {
+        // The k == 0 early return reached through the protocol path.
+        let d = toy();
+        let p = EvalProtocol::sample(&d, 10, 7).with_list_shape(0, 30);
+        assert_eq!(p.recommend(&IdRanker, &d, 3), Vec::<u32>::new());
+        assert_eq!(p.rec_num(&IdRanker, &d), 0);
+        assert_eq!(p.max_rec_num(&d), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_users must be at least 1")]
+    fn protocol_rejects_zero_users() {
+        // Regression: `n_users.max(1)` used to silently evaluate one
+        // user, contradicting SystemConfigBuilder's eval_users check.
+        let d = toy();
+        let _ = EvalProtocol::sample(&d, 0, 7);
+    }
+
+    #[test]
+    fn hit_rate_terminates_on_tiny_catalogs() {
+        // Regression: asking for more distinct negatives than the
+        // catalog holds spun the rejection sampler forever.
+        let histories = (0..6)
+            .map(|u| vec![u % 3, (u + 1) % 3, (u + 2) % 3])
+            .collect();
+        let d = Dataset::from_histories("tiny", histories, 3, 1);
+        let holdout = d.test().pairs.clone();
+        assert!(!holdout.is_empty());
+        // 50 negatives requested, at most 2 available: must clamp and
+        // finish. With every item in each candidate set, the IdRanker's
+        // hit rate is exact: a hit iff the held item is a top-k id.
+        let hr = hit_rate_at_k(&IdRanker, &d, &holdout, 3, 50, 11);
+        assert_eq!(hr, 1.0, "k covers the whole 3-item catalog");
+        let hr1 = hit_rate_at_k(&IdRanker, &d, &holdout, 1, 50, 11);
+        let expected =
+            holdout.iter().filter(|&&(_, held)| held == 2).count() as f64 / holdout.len() as f64;
+        assert_eq!(hr1, expected);
     }
 
     #[test]

@@ -265,10 +265,23 @@ impl BlackBoxSystem {
     /// The single seeded observation core every public entry point
     /// reduces to: snapshot the clean ranker, warm-update it with the
     /// poisoned log, and read the target set's exposure.
+    ///
+    /// Telemetry: each call bumps the global `system_observations_total`
+    /// counter (the attack's query budget — every RL reward costs
+    /// exactly one of these) and records the retrain and full
+    /// observation durations into `system_retrain_seconds` /
+    /// `system_observe_seconds`. Pure metrics side-channel: no RNG is
+    /// touched, so observations stay bit-identical with or without a
+    /// metrics reader.
     fn observe_core(&self, poison: &[Trajectory], seed: u64, with_lists: bool) -> Observation {
+        let _observe_span = telemetry::Span::enter("system_observe_seconds");
+        telemetry::metrics::counter("system_observations_total").inc();
         let mut ranker = self.clean.boxed_clone();
         let view = LogView::new(&self.base, poison);
+        let retrain = telemetry::Stopwatch::start();
         ranker.fine_tune(&view, seed);
+        telemetry::metrics::histogram("system_retrain_seconds", &telemetry::TIME_BUCKETS)
+            .record(retrain.elapsed_secs());
         let rec_num = self.protocol.rec_num(&*ranker, &self.base);
         let recommendations = with_lists.then(|| {
             self.protocol

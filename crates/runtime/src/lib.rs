@@ -24,6 +24,15 @@
 //! Worker threads are spawned once (see [`global`]) and reused across
 //! batches — the per-step fan-out in `PoisonRecTrainer` pays thread
 //! startup cost once per process, not once per training step.
+//!
+//! ## Telemetry
+//!
+//! The pool reports into the global [`telemetry`] registry:
+//! `runtime_jobs_total` (jobs executed, on any thread),
+//! `runtime_batches_total` / `runtime_batch_seconds` (per-`run` count
+//! and wall time), and the `runtime_queue_depth` gauge (helper runners
+//! currently parked in the shared queue). All are atomics on the
+//! already-cold batch paths; job results are unaffected.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -83,6 +92,7 @@ impl<T: Send> Batch<'_, T> {
                 .unwrap()
                 .take()
                 .expect("job claimed twice");
+            telemetry::metrics::counter("runtime_jobs_total").inc();
             match catch_unwind(AssertUnwindSafe(job)) {
                 Ok(value) => *self.slots[i].lock().unwrap() = Some(value),
                 Err(payload) => {
@@ -119,6 +129,7 @@ impl WorkerPool {
                             let mut queue = shared.queue.lock().unwrap();
                             loop {
                                 if let Some(task) = queue.tasks.pop_front() {
+                                    telemetry::metrics::gauge("runtime_queue_depth").sub(1);
                                     break Some(task);
                                 }
                                 if queue.shutdown {
@@ -166,6 +177,8 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
+        telemetry::metrics::counter("runtime_batches_total").inc();
+        let _batch_span = telemetry::Span::enter("runtime_batch_seconds");
         let threads = threads.max(1).min(n);
         let batch = Arc::new(Batch {
             jobs: jobs.into_iter().map(|j| Mutex::new(Some(j))).collect(),
@@ -195,6 +208,7 @@ impl WorkerPool {
                 let task: QueueTask = unsafe { std::mem::transmute(task) };
                 queue.tasks.push_back(task);
             }
+            telemetry::metrics::gauge("runtime_queue_depth").add(runners as i64);
             drop(queue);
             self.shared.work_ready.notify_all();
         }
@@ -342,6 +356,21 @@ mod tests {
         assert!(caught.is_err());
         // Every non-panicking job still ran to completion.
         assert_eq!(finished.load(Relaxed), 9);
+    }
+
+    #[test]
+    fn pool_reports_job_metrics() {
+        // Other tests in this process share the global registry, so
+        // only the monotone delta is asserted.
+        let jobs = telemetry::metrics::counter("runtime_jobs_total");
+        let batches = telemetry::metrics::counter("runtime_batches_total");
+        let (jobs_before, batches_before) = (jobs.get(), batches.get());
+        let pool = WorkerPool::new(2);
+        pool.run(3, jobs_squaring(12));
+        assert!(jobs.get() >= jobs_before + 12);
+        assert!(batches.get() > batches_before);
+        let snap = telemetry::metrics::snapshot();
+        assert!(snap.counter("runtime_jobs_total").expect("registered") >= jobs_before + 12);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Validates a telemetry run log (JSONL) against the workspace schema;
+//! the CI smoke stage runs this so the sink can never silently rot.
+//!
+//! Checks:
+//! * the file is non-empty and every line parses as a JSON object with
+//!   a string `type` field;
+//! * the first line is the run manifest;
+//! * per cell (`ranker` × `design` labels), `step` events count up from
+//!   0 with no gaps, their phase durations are finite and non-negative,
+//!   and the cumulative `observations` equals
+//!   `episodes × (step + 1)` (episodes read from the manifest);
+//! * with `--expect-steps N`, every cell logged exactly `N` steps;
+//!   with `--expect-cells N`, exactly `N` cells logged steps.
+//!
+//! Exit code 0 on success, 1 with a diagnostic on the first violation.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use telemetry::json::{self, Json};
+
+struct CellState {
+    next_step: u64,
+    observations: u64,
+}
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("validate_jsonl: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return fail(
+            "usage: validate_jsonl <run.jsonl> [--expect-steps N] [--expect-cells N]".into(),
+        );
+    };
+    let mut expect_steps: Option<u64> = None;
+    let mut expect_cells: Option<usize> = None;
+    while let Some(flag) = args.next() {
+        let value = args.next().and_then(|v| v.parse().ok());
+        match (flag.as_str(), value) {
+            ("--expect-steps", Some(v)) => expect_steps = Some(v),
+            ("--expect-cells", Some(v)) => expect_cells = Some(v as usize),
+            (other, _) => return fail(format!("bad flag or value: {other}")),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => return fail(format!("cannot read {path}: {err}")),
+    };
+    if text.lines().next().is_none() {
+        return fail(format!("{path} is empty"));
+    }
+
+    let mut episodes: Option<u64> = None;
+    let mut cells: BTreeMap<String, CellState> = BTreeMap::new();
+    let mut events = 0u64;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let value = match json::parse(line) {
+            Ok(value) => value,
+            Err(err) => return fail(format!("line {}: {err}", lineno + 1)),
+        };
+        let Some(kind) = value.get("type").and_then(Json::as_str) else {
+            return fail(format!("line {}: no string `type` field", lineno + 1));
+        };
+        if lineno == 0 {
+            if kind != "manifest" {
+                return fail(format!("first line has type `{kind}`, expected `manifest`"));
+            }
+            episodes = value.get("episodes").and_then(Json::as_u64);
+            continue;
+        }
+        events += 1;
+        if kind != "step" {
+            continue; // observation/metrics/... lines only need to parse
+        }
+
+        // Cells are whatever label combination the producer attached;
+        // numeric labels (e.g. a `threads` tag) render as themselves.
+        let cell = ["dataset", "ranker", "design", "threads"]
+            .iter()
+            .filter_map(|k| value.get(k))
+            .map(|v| match v {
+                Json::Str(s) => s.clone(),
+                other => other.render(),
+            })
+            .collect::<Vec<_>>()
+            .join("|");
+        let Some(step) = value.get("step").and_then(Json::as_u64) else {
+            return fail(format!("line {}: step event without `step`", lineno + 1));
+        };
+        let state = cells.entry(cell.clone()).or_insert(CellState {
+            next_step: 0,
+            observations: 0,
+        });
+        if step != state.next_step {
+            return fail(format!(
+                "line {}: cell `{cell}` logged step {step}, expected {} (steps must be monotone, gap-free)",
+                lineno + 1,
+                state.next_step
+            ));
+        }
+        state.next_step += 1;
+
+        for field in ["sample_secs", "score_secs", "update_secs"] {
+            match value.get(field).and_then(Json::as_f64) {
+                Some(secs) if secs.is_finite() && secs >= 0.0 => {}
+                other => {
+                    return fail(format!(
+                        "line {}: step event `{field}` invalid: {other:?}",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+
+        let Some(observations) = value.get("observations").and_then(Json::as_u64) else {
+            return fail(format!(
+                "line {}: step event without `observations`",
+                lineno + 1
+            ));
+        };
+        if observations <= state.observations {
+            return fail(format!(
+                "line {}: cell `{cell}` observations not increasing ({} -> {observations})",
+                lineno + 1,
+                state.observations
+            ));
+        }
+        state.observations = observations;
+        if let Some(m) = episodes {
+            let expected = m * (step + 1);
+            if observations != expected {
+                return fail(format!(
+                    "line {}: cell `{cell}` step {step} observations = {observations}, \
+                     expected episodes x (step+1) = {expected}",
+                    lineno + 1
+                ));
+            }
+        }
+    }
+
+    if let Some(want) = expect_steps {
+        for (cell, state) in &cells {
+            if state.next_step != want {
+                return fail(format!(
+                    "cell `{cell}` logged {} steps, expected {want}",
+                    state.next_step
+                ));
+            }
+        }
+    }
+    if let Some(want) = expect_cells {
+        if cells.len() != want {
+            return fail(format!(
+                "{} cells logged steps, expected {want}",
+                cells.len()
+            ));
+        }
+    }
+
+    println!(
+        "validate_jsonl: OK — {} event line(s), {} cell(s){}",
+        events,
+        cells.len(),
+        episodes.map_or(String::new(), |m| format!(", {m} episodes/step")),
+    );
+    ExitCode::SUCCESS
+}

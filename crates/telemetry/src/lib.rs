@@ -1,0 +1,35 @@
+//! # telemetry
+//!
+//! The workspace's zero-dependency observability layer. Three pieces,
+//! each usable on its own (see DESIGN.md §5b for how they are wired
+//! through the stack):
+//!
+//! * [`metrics`] — a process-wide registry of named [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s, and fixed-bucket [`metrics::Histogram`]s. All
+//!   instruments are lock-free atomics, cheap enough for hot paths; the
+//!   registry itself is only locked at registration and snapshot time.
+//!   [`metrics::snapshot`] returns a point-in-time copy of everything.
+//! * [`span`] — RAII timers over the monotonic clock
+//!   ([`std::time::Instant`]): a [`span::Span`] records its lifetime
+//!   into a registry histogram on drop; a [`span::Stopwatch`] is the
+//!   bare building block when the caller wants the number itself.
+//! * [`json`] + [`sink`] — a hand-rolled JSON value type with writer
+//!   *and* parser (the build environment has no crates.io access, so
+//!   no serde), and a thread-safe JSONL event sink built on it. Run
+//!   logs are one `manifest` line followed by per-step `event` lines;
+//!   `src/bin/validate_jsonl.rs` checks that schema and backs the CI
+//!   smoke stage.
+//!
+//! Nothing in this crate touches any RNG: instrumentation can never
+//! perturb the workspace's determinism guarantees (only the *timing
+//! values* in the output differ between runs).
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot, TIME_BUCKETS};
+pub use sink::JsonlSink;
+pub use span::{Span, Stopwatch};

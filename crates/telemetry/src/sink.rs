@@ -1,0 +1,129 @@
+//! JSONL event sink: one JSON object per line, append-only.
+//!
+//! The run-log convention every experiment binary follows (see
+//! DESIGN.md §5b):
+//!
+//! 1. the first line is a **manifest** — `{"type":"manifest", ...}`
+//!    with the run configuration (dataset, ranker, seed, thread count,
+//!    step/episode counts);
+//! 2. every later line is an **event** — `{"type":"step", ...}` per
+//!    trainer step (or `"observation"`, `"metrics"`, ... for other
+//!    event shapes), carrying whatever fields that event type needs.
+//!
+//! The sink is `Sync`: a `Mutex` serializes whole lines, so concurrent
+//! experiment cells can share one file without interleaving bytes.
+//! Every line is flushed as written — a crashed run still leaves a
+//! readable prefix, which is what the CI validator relies on.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::metrics;
+
+/// A thread-safe JSON-lines file writer.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Appends one value as a single line and flushes it.
+    pub fn emit(&self, line: &Json) -> io::Result<()> {
+        let mut out = self.out.lock().unwrap();
+        out.write_all(line.render().as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+        metrics::counter("telemetry_lines_total").inc();
+        Ok(())
+    }
+
+    /// [`JsonlSink::emit`] of a `{"type":"metrics", "metrics": ...}`
+    /// line holding a snapshot of the global registry — the
+    /// conventional final line of a run log.
+    pub fn emit_metrics_snapshot(&self) -> io::Result<()> {
+        let line = Json::obj()
+            .field("type", "metrics")
+            .field("metrics", metrics::snapshot().to_json());
+        self.emit(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "telemetry-sink-{}-{name}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn lines_round_trip_through_file() {
+        let path = temp_path("roundtrip");
+        let sink = JsonlSink::create(&path).expect("create");
+        sink.emit(&Json::obj().field("type", "manifest").field("seed", 7u64))
+            .expect("emit");
+        sink.emit(&Json::obj().field("type", "step").field("step", 0usize))
+            .expect("emit");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let manifest = json::parse(lines[0]).expect("line 0 parses");
+        assert_eq!(
+            manifest.get("type").and_then(Json::as_str),
+            Some("manifest")
+        );
+        let step = json::parse(lines[1]).expect("line 1 parses");
+        assert_eq!(step.get("step").and_then(Json::as_u64), Some(0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_emitters_never_interleave_bytes() {
+        let path = temp_path("concurrent");
+        let sink = JsonlSink::create(&path).expect("create");
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        sink.emit(
+                            &Json::obj()
+                                .field("type", "event")
+                                .field("thread", t)
+                                .field("i", i)
+                                .field("pad", "x".repeat(200)),
+                        )
+                        .expect("emit");
+                    }
+                });
+            }
+        });
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 200);
+        for line in lines {
+            json::parse(line).expect("every line is one valid document");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,93 @@
+//! RAII timers over the monotonic clock.
+//!
+//! [`Stopwatch`] is the bare measurement ([`std::time::Instant`] +
+//! elapsed-seconds read); [`Span`] couples one to a registry histogram
+//! and records its own lifetime on drop, so instrumenting a scope is
+//! one line at the top:
+//!
+//! ```
+//! # fn retrain() {}
+//! let _span = telemetry::Span::enter("system_retrain_seconds");
+//! retrain(); // duration lands in the histogram when `_span` drops
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::{self, Histogram, Registry, TIME_BUCKETS};
+
+/// A running monotonic timer.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Seconds since [`Stopwatch::start`]; monotone, never negative.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Records the duration from construction to drop into a histogram.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    hist: Arc<Histogram>,
+    watch: Stopwatch,
+}
+
+impl Span {
+    /// Times until drop into the [`metrics::global`] histogram `name`
+    /// (registered with [`TIME_BUCKETS`] on first use).
+    pub fn enter(name: &'static str) -> Self {
+        Self::enter_in(metrics::global(), name)
+    }
+
+    /// [`Span::enter`] against an explicit registry (tests).
+    pub fn enter_in(registry: &Registry, name: &'static str) -> Self {
+        Self {
+            hist: registry.histogram(name, &TIME_BUCKETS),
+            watch: Stopwatch::start(),
+        }
+    }
+
+    /// Seconds elapsed so far, without ending the span.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.watch.elapsed_secs()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record(self.watch.elapsed_secs());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let w = Stopwatch::start();
+        let a = w.elapsed_secs();
+        let b = w.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn span_records_exactly_once_on_drop() {
+        let reg = Registry::new();
+        {
+            let span = Span::enter_in(&reg, "scope_seconds");
+            assert_eq!(span.hist.count(), 0, "nothing recorded while open");
+            assert!(span.elapsed_secs() >= 0.0);
+        }
+        let h = reg.histogram("scope_seconds", &TIME_BUCKETS);
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+    }
+}

@@ -15,4 +15,18 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> telemetry smoke (tiny fig4 run + JSONL validation)"
+# 3 steps x 4 episodes on one tiny ItemPop cell per design; the
+# validator checks every line parses, steps are gap-free per cell, and
+# each cell's cumulative observations equal episodes x (step + 1).
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -p bench --bin exp_fig4 -- \
+    --scale 0.02 --steps 3 --episodes 4 --attackers 4 --trajectory 5 \
+    --dim 8 --eval-users 16 --rankers itempop \
+    --out "$smoke_dir" --telemetry "$smoke_dir/run.jsonl" >/dev/null
+test -s "$smoke_dir/run.jsonl" || { echo "telemetry log empty"; exit 1; }
+cargo run --release -p telemetry --bin validate_jsonl -- \
+    "$smoke_dir/run.jsonl" --expect-steps 3 --expect-cells 4
+
 echo "CI green."

@@ -90,6 +90,51 @@ proptest! {
         }
     }
 
+    /// top-k with NaN scores mixed in: selection must agree exactly
+    /// with sorting all candidates by `total_cmp` descending and
+    /// truncating to k (the documented contract), and return distinct
+    /// in-range indices. NaN sorts above +inf under `total_cmp`, so
+    /// NaN-scored items are *preferred* — the point is that selection
+    /// and full sort make the same deterministic choice.
+    #[test]
+    fn top_k_matches_sort_truncate_with_nans(
+        raw in prop::collection::vec(-1e3f32..1e3, 1..100),
+        nan_every in 1usize..6,
+        k in 0usize..25,
+    ) {
+        let scores: Vec<f32> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if i % nan_every == 0 { f32::NAN } else { s })
+            .collect();
+        let candidates: Vec<u32> = (0..scores.len() as u32).collect();
+        let top = top_k_items(&candidates, &scores, k);
+        prop_assert_eq!(top.len(), k.min(candidates.len()));
+
+        // Distinct, in-range indices.
+        let mut seen = vec![false; scores.len()];
+        for &item in &top {
+            prop_assert!((item as usize) < scores.len());
+            prop_assert!(!seen[item as usize], "duplicate item {}", item);
+            seen[item as usize] = true;
+        }
+
+        // Positional agreement with the reference: sort everything by
+        // total_cmp descending, truncate to k, compare score *bits* so
+        // NaN == NaN and -0.0 != +0.0.
+        let mut reference = scores.clone();
+        reference.sort_unstable_by(|a, b| b.total_cmp(a));
+        for (pos, &item) in top.iter().enumerate() {
+            prop_assert!(
+                scores[item as usize].to_bits() == reference[pos].to_bits(),
+                "position {}: selected {:?}, reference {:?}",
+                pos,
+                scores[item as usize],
+                reference[pos]
+            );
+        }
+    }
+
     /// Alias tables never emit zero-weight outcomes.
     #[test]
     fn alias_table_respects_support(
