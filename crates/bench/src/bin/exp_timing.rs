@@ -22,8 +22,7 @@ use analysis::{write_text, Table};
 use bench::ExpArgs;
 use datasets::PaperDataset;
 use poisonrec::{
-    ActionSpace, ActionSpaceKind, PoisonRecTrainer, PolicyConfig, PolicyNetwork, PpoConfig,
-    PpoUpdater, StepLogger,
+    ActionSpace, ActionSpaceKind, PolicyConfig, PolicyNetwork, PpoConfig, PpoUpdater, StepLogger,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,7 +104,10 @@ fn real_steps_time(
         cfg.threads = threads;
         cfg
     };
-    let mut trainer = PoisonRecTrainer::new(cfg, &system);
+    // Per-thread-count slug: each lane checkpoints (and resumes)
+    // independently under --checkpoint-every / --resume.
+    let slug = format!("timing-t{threads}");
+    let mut trainer = args.build_or_resume_trainer(cfg, &system, &slug);
     if let Some(sink) = sink {
         trainer.attach_logger(
             StepLogger::new(Arc::clone(sink))
@@ -116,7 +118,7 @@ fn real_steps_time(
         );
     }
     let start = Instant::now();
-    trainer.train(&system, steps);
+    args.drive_trainer(&mut trainer, &system, &slug, steps);
     let elapsed = start.elapsed().as_secs_f64();
     let mean = trainer.history().last().map_or(0.0, |s| s.mean_reward);
     (elapsed, mean)

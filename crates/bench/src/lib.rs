@@ -51,6 +51,16 @@ pub struct ExpArgs {
     /// When set, stream a JSONL run log (manifest + per-step events)
     /// to this path, next to the CSV artifacts.
     pub telemetry: Option<PathBuf>,
+    /// Save a checkpoint after every N completed steps (0 = never).
+    pub checkpoint_every: usize,
+    /// Directory for per-cell checkpoint files
+    /// (default: `<out>/checkpoints`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume every cell whose checkpoint exists in this directory.
+    pub resume: Option<PathBuf>,
+    /// Fault injection: simulate a crash (exit [`runtime::FAULT_EXIT_CODE`])
+    /// at this step boundary, after any due checkpoint was written.
+    pub fault_kill_step: Option<u64>,
 }
 
 impl Default for ExpArgs {
@@ -71,6 +81,10 @@ impl Default for ExpArgs {
                 .map(|n| n.get())
                 .unwrap_or(4),
             telemetry: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: None,
+            fault_kill_step: None,
         }
     }
 }
@@ -103,6 +117,19 @@ impl ExpArgs {
                 "--out" => args.out_dir = PathBuf::from(take("--out")),
                 "--threads" => args.threads = take("--threads").parse().expect("threads"),
                 "--telemetry" => args.telemetry = Some(PathBuf::from(take("--telemetry"))),
+                "--checkpoint-every" => {
+                    args.checkpoint_every = take("--checkpoint-every")
+                        .parse()
+                        .expect("checkpoint-every")
+                }
+                "--checkpoint-dir" => {
+                    args.checkpoint_dir = Some(PathBuf::from(take("--checkpoint-dir")))
+                }
+                "--resume" => args.resume = Some(PathBuf::from(take("--resume"))),
+                "--fault-kill-step" => {
+                    args.fault_kill_step =
+                        Some(take("--fault-kill-step").parse().expect("fault-kill-step"))
+                }
                 "--rankers" => {
                     args.rankers = take("--rankers")
                         .split(',')
@@ -137,7 +164,9 @@ impl ExpArgs {
                     eprintln!(
                         "flags: --scale F --steps N --episodes M --attackers N --trajectory T \
                          --dim E --eval-users U --seed S --out DIR --threads K \
-                         --telemetry FILE.jsonl --rankers A,B --datasets X,Y --paper"
+                         --telemetry FILE.jsonl --rankers A,B --datasets X,Y --paper \
+                         --checkpoint-every N --checkpoint-dir DIR --resume DIR \
+                         --fault-kill-step N"
                     );
                     std::process::exit(0);
                 }
@@ -221,6 +250,12 @@ impl ExpArgs {
     /// when `sink` is set, every training step is streamed as one
     /// JSONL event tagged with `labels` (so parallel cells sharing the
     /// sink stay distinguishable).
+    ///
+    /// This is also the checkpoint-aware entry point: the cell's slug
+    /// (derived from `labels`) names a per-cell checkpoint file, so
+    /// `--resume DIR` continues from `DIR/<slug>.ckpt` when it exists
+    /// and `--checkpoint-every N` snapshots into the checkpoint
+    /// directory as the run progresses.
     pub fn train_poisonrec_logged(
         &self,
         system: &BlackBoxSystem,
@@ -229,7 +264,9 @@ impl ExpArgs {
         sink: Option<&Arc<JsonlSink>>,
         labels: &[(&str, &str)],
     ) -> PoisonRecTrainer {
-        let mut trainer = PoisonRecTrainer::new(self.poisonrec_config(space, seed_offset), system);
+        let slug = Self::cell_slug(labels, seed_offset);
+        let cfg = self.poisonrec_config(space, seed_offset);
+        let mut trainer = self.build_or_resume_trainer(cfg, system, &slug);
         if let Some(sink) = sink {
             let mut logger = StepLogger::new(Arc::clone(sink));
             for &(key, value) in labels {
@@ -237,8 +274,93 @@ impl ExpArgs {
             }
             trainer.attach_logger(logger);
         }
-        trainer.train(system, self.steps);
+        self.drive_trainer(&mut trainer, system, &slug, self.steps);
         trainer
+    }
+
+    /// The per-cell checkpoint file name: label values joined by `-`
+    /// (e.g. `steam-bpr-bcbt_popular`), or the seed offset when a run
+    /// carries no labels.
+    pub fn cell_slug(labels: &[(&str, &str)], seed_offset: u64) -> String {
+        if labels.is_empty() {
+            return format!("cell-{seed_offset}");
+        }
+        labels
+            .iter()
+            .map(|&(_, value)| value)
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    /// Where cell `slug` writes checkpoints, or `None` when
+    /// checkpointing is off (`--checkpoint-every 0`).
+    pub fn checkpoint_path(&self, slug: &str) -> Option<PathBuf> {
+        if self.checkpoint_every == 0 {
+            return None;
+        }
+        let dir = self
+            .checkpoint_dir
+            .clone()
+            .unwrap_or_else(|| self.out_dir.join("checkpoints"));
+        Some(dir.join(format!("{slug}.ckpt")))
+    }
+
+    /// Where cell `slug` resumes from: `--resume` names a directory of
+    /// per-cell files. `None` when not resuming or when this cell has
+    /// no checkpoint yet (it then starts fresh).
+    pub fn resume_path(&self, slug: &str) -> Option<PathBuf> {
+        let path = self.resume.as_ref()?.join(format!("{slug}.ckpt"));
+        path.exists().then_some(path)
+    }
+
+    /// Builds a cell's trainer, resuming from its `--resume` checkpoint
+    /// when one exists. Resume failures (corruption, config mismatch)
+    /// abort loudly rather than silently restarting the run.
+    pub fn build_or_resume_trainer(
+        &self,
+        cfg: PoisonRecConfig,
+        system: &BlackBoxSystem,
+        slug: &str,
+    ) -> PoisonRecTrainer {
+        match self.resume_path(slug) {
+            Some(path) => PoisonRecTrainer::resume(&path, cfg, system).unwrap_or_else(|err| {
+                panic!("cannot resume {slug} from {}: {err}", path.display())
+            }),
+            None => PoisonRecTrainer::new(cfg, system),
+        }
+    }
+
+    /// The binaries' shared drive loop: runs the trainer up to `steps`
+    /// total completed steps (a resumed history counts), writing a
+    /// checkpoint after every `--checkpoint-every`-th step and honoring
+    /// a scripted `--fault-kill-step` crash *after* any due checkpoint
+    /// — so CI can kill a run at a step boundary and prove the resumed
+    /// continuation is bit-identical.
+    pub fn drive_trainer(
+        &self,
+        trainer: &mut PoisonRecTrainer,
+        system: &BlackBoxSystem,
+        slug: &str,
+        steps: usize,
+    ) {
+        let ckpt = self.checkpoint_path(slug);
+        let fault = self
+            .fault_kill_step
+            .map(|step| runtime::FaultPlan::new().kill_at_step(step));
+        for _ in trainer.history().len()..steps {
+            trainer.step(system);
+            let completed = trainer.history().len();
+            if let Some(path) = &ckpt {
+                if completed.is_multiple_of(self.checkpoint_every) {
+                    trainer.save_checkpoint(system, path).unwrap_or_else(|err| {
+                        panic!("cannot write checkpoint {}: {err}", path.display())
+                    });
+                }
+            }
+            if let Some(plan) = &fault {
+                plan.kill_if_due(completed as u64);
+            }
+        }
     }
 
     /// Opens the `--telemetry` run log, if requested, and writes its

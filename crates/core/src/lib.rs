@@ -12,6 +12,8 @@
 //! * [`ppo`] — PPO with the clipped surrogate (Eq. 7/9) and batch
 //!   reward normalization (Eq. 8).
 //! * [`trainer`] — Algorithm 1: sample, inject, observe RecNum, update.
+//! * [`checkpoint`] — versioned crash-safe trainer state snapshots;
+//!   resumed runs continue bit-identically.
 //!
 //! ```no_run
 //! use poisonrec::{PoisonRecConfig, PoisonRecTrainer};
@@ -30,11 +32,13 @@
 //! ```
 
 pub mod action;
+pub mod checkpoint;
 pub mod policy;
 pub mod ppo;
 pub mod trainer;
 
 pub use action::{ActionSpace, ActionSpaceKind, Choice, ChoiceSet, ItemTree};
+pub use checkpoint::CheckpointError;
 pub use policy::{Episode, PolicyConfig, PolicyNetwork};
 pub use ppo::{normalize_rewards, PpoConfig, PpoUpdater};
 pub use trainer::{

@@ -79,6 +79,18 @@ impl PpoUpdater {
         &self.cfg
     }
 
+    /// The Adam state (moments + step counter), for checkpointing.
+    pub fn optimizer(&self) -> &Adam {
+        &self.opt
+    }
+
+    /// Replaces the Adam state with one restored from a checkpoint.
+    /// The caller (the checkpoint decoder) is responsible for having
+    /// validated that `opt` matches the policy's parameter arity.
+    pub(crate) fn restore_optimizer(&mut self, opt: Adam) {
+        self.opt = opt;
+    }
+
     /// One gradient step over a batch of `(episode, advantage)` pairs.
     /// Returns the mean absolute decision weight (a learning-signal
     /// diagnostic: 0 means everything was clipped or advantages were 0).

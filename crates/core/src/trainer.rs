@@ -17,6 +17,7 @@
 //! rewards — and therefore the whole training run — are bit-identical
 //! for every `threads` value.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -25,8 +26,10 @@ use rand::SeedableRng;
 use recsys::system::{BlackBoxSystem, ConfigError};
 use recsys::Trajectory;
 use telemetry::{Json, JsonlSink, Stopwatch};
+use tensor::wire::Codec;
 
 use crate::action::{ActionSpace, ActionSpaceKind};
+use crate::checkpoint::{self, CheckpointError, TrainerState};
 use crate::policy::{Episode, PolicyConfig, PolicyNetwork};
 use crate::ppo::{normalize_rewards, PpoConfig, PpoUpdater};
 
@@ -213,6 +216,21 @@ impl StepLogger {
             .field("observations", stats.observations);
         self.sink.emit(&line).expect("telemetry sink write failed");
     }
+
+    /// Emits a `checkpoint` event carrying the same labels as step
+    /// events. The JSONL validator only requires non-`step` types to
+    /// parse, so these lines never break a run log.
+    fn log_checkpoint(&self, step: usize, path: &Path, bytes: u64) {
+        let mut line = Json::obj().field("type", "checkpoint");
+        for (key, value) in &self.labels {
+            line = line.field(key, value.clone());
+        }
+        let line = line
+            .field("step", step)
+            .field("path", path.display().to_string())
+            .field("bytes", bytes);
+        self.sink.emit(&line).expect("telemetry sink write failed");
+    }
 }
 
 /// The attack agent: policy + action space + PPO state + history.
@@ -392,6 +410,140 @@ impl PoisonRecTrainer {
     /// what the attacker deploys after training.
     pub fn sample_attack(&mut self) -> Episode {
         self.policy.sample_episode(&self.space, &mut self.rng)
+    }
+
+    /// Serializes the complete trainer state into the versioned
+    /// [`checkpoint`] container and writes it to `path` atomically
+    /// (tmp + rename — a crash mid-save never leaves a torn file).
+    /// Emits a `checkpoint` telemetry event if a logger is attached.
+    /// Returns the number of bytes written.
+    ///
+    /// A trainer resumed from the file continues **bit-identically** to
+    /// this one, provided the caller rebuilds `system` from the same
+    /// dataset and [`recsys::system::SystemConfig`].
+    pub fn save_checkpoint(
+        &self,
+        system: &BlackBoxSystem,
+        path: impl AsRef<Path>,
+    ) -> Result<u64, CheckpointError> {
+        let path = path.as_ref();
+        let state = TrainerState {
+            rng_state: self.rng.state(),
+            observations: self.observations,
+            params: self.policy.params().clone(),
+            optimizer: self.updater.optimizer().clone(),
+            best: self.best.clone(),
+            history: self.history.clone(),
+        };
+        let body = state.to_bytes();
+        let fingerprint = checkpoint::config_fingerprint(&self.cfg, system);
+        let sealed = checkpoint::seal(fingerprint, &body);
+        checkpoint::atomic_write(path, &sealed)?;
+        telemetry::metrics::counter("trainer_checkpoints_total").inc();
+        if let Some(logger) = &self.logger {
+            logger.log_checkpoint(self.history.len(), path, sealed.len() as u64);
+        }
+        Ok(sealed.len() as u64)
+    }
+
+    /// Rebuilds a trainer from a checkpoint written by
+    /// [`PoisonRecTrainer::save_checkpoint`]. Refuses — with a
+    /// descriptive [`CheckpointError`], never a panic — corrupted or
+    /// truncated files and checkpoints written under a different
+    /// configuration (fingerprint mismatch). `cfg.threads` may differ
+    /// from the saving run's: training is thread-count invariant.
+    ///
+    /// Also restores `system`'s observation seed stream, so `system`
+    /// must be freshly built (zero observations spent); a rewind is
+    /// refused. The resumed trainer's next [`PoisonRecTrainer::step`]
+    /// produces exactly the bytes the interrupted run's would have.
+    pub fn resume(
+        path: impl AsRef<Path>,
+        cfg: PoisonRecConfig,
+        system: &BlackBoxSystem,
+    ) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        let (saved, body) = checkpoint::unseal(&bytes)?;
+        let current = checkpoint::config_fingerprint(&cfg, system);
+        if saved != current {
+            return Err(CheckpointError::ConfigMismatch { saved, current });
+        }
+        let state = TrainerState::from_bytes(body)?;
+        let mut trainer = Self::new(cfg, system);
+        trainer.restore(state, system)?;
+        Ok(trainer)
+    }
+
+    /// Overwrites this trainer's state with a decoded [`TrainerState`],
+    /// validating shape agreement first so a mismatch surfaces here
+    /// rather than as a panic deep inside a later step.
+    fn restore(
+        &mut self,
+        state: TrainerState,
+        system: &BlackBoxSystem,
+    ) -> Result<(), CheckpointError> {
+        let malformed = |msg: String| Err(CheckpointError::Format(msg));
+        let expected = self.policy.params();
+        if state.params.len() != expected.len() {
+            return malformed(format!(
+                "checkpoint stores {} parameter matrices but this policy has {}",
+                state.params.len(),
+                expected.len()
+            ));
+        }
+        for (id, matrix) in expected.iter() {
+            let name = expected.name(id);
+            if state.params.name(id) != name {
+                return malformed(format!(
+                    "parameter {} is named {:?} in the checkpoint, expected {name:?}",
+                    id.index(),
+                    state.params.name(id)
+                ));
+            }
+            if state.params.get(id).shape() != matrix.shape() {
+                return malformed(format!(
+                    "parameter {name:?} has shape {:?} in the checkpoint, expected {:?}",
+                    state.params.get(id).shape(),
+                    matrix.shape()
+                ));
+            }
+        }
+        if !state.optimizer.tracks(&state.params) {
+            return malformed("optimizer moments do not line up with the stored parameters".into());
+        }
+        if state.rng_state.iter().all(|&w| w == 0) {
+            return malformed("stored RNG state is all zeros (invalid xoshiro256++ state)".into());
+        }
+        match state.history.last() {
+            Some(last) if last.observations != state.observations => {
+                return malformed(format!(
+                    "observation count {} disagrees with the last history entry's {}",
+                    state.observations, last.observations
+                ));
+            }
+            None if state.observations != 0 => {
+                return malformed(format!(
+                    "checkpoint claims {} observations but an empty history",
+                    state.observations
+                ));
+            }
+            _ => {}
+        }
+        system
+            .restore_observations_spent(state.observations)
+            .map_err(|e| {
+                CheckpointError::Format(format!(
+                    "cannot restore the observation stream ({}): {}",
+                    e.field, e.message
+                ))
+            })?;
+        *self.policy.params_mut() = state.params;
+        self.updater.restore_optimizer(state.optimizer);
+        self.rng = StdRng::from_state(state.rng_state);
+        self.best = state.best;
+        self.observations = state.observations;
+        self.history = state.history;
+        Ok(())
     }
 }
 

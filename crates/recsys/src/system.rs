@@ -253,6 +253,32 @@ impl BlackBoxSystem {
         child_seed(self.cfg.seed, 1000 + ordinal)
     }
 
+    /// Observations consumed from this system's seed stream so far.
+    pub fn observations_spent(&self) -> u64 {
+        self.observation.load(Ordering::Relaxed)
+    }
+
+    /// Fast-forwards the observation seed stream to `spent`, as if that
+    /// many [`BlackBoxSystem::observe`] calls had already happened.
+    /// Checkpoint resume uses this so a restored trainer's next query
+    /// draws exactly the seed it would have drawn in the uninterrupted
+    /// run. Rewinding is refused — reusing seeds would silently break
+    /// the "fresh randomness per observation" contract.
+    pub fn restore_observations_spent(&self, spent: u64) -> Result<(), ConfigError> {
+        let current = self.observation.load(Ordering::Relaxed);
+        if spent < current {
+            return Err(ConfigError {
+                field: "observations_spent",
+                message: format!(
+                    "cannot rewind the observation stream from {current} to {spent}; \
+                     resume against a freshly built system"
+                ),
+            });
+        }
+        self.observation.store(spent, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn check_budget(&self, poison: &[Trajectory]) {
         assert!(
             poison.len() as u32 <= self.cfg.reserve_attackers,
@@ -488,6 +514,26 @@ mod tests {
                 replay.inject_and_observe_seeded(&poison, expected_seed)
             );
         }
+    }
+
+    #[test]
+    fn restored_observation_stream_matches_uninterrupted_run() {
+        let cfg = small_cfg();
+        let full = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), cfg.clone());
+        let resumed = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), cfg.clone());
+        let target = full.public_info().target_items[0];
+        let poison: Vec<Trajectory> = vec![vec![target; 6]];
+        for _ in 0..4 {
+            full.observe(&poison);
+        }
+        assert_eq!(full.observations_spent(), 4);
+        resumed
+            .restore_observations_spent(4)
+            .expect("fresh system accepts fast-forward");
+        assert_eq!(full.observe(&poison), resumed.observe(&poison));
+        // Rewinding is refused with a descriptive error.
+        let err = resumed.restore_observations_spent(1).expect_err("rewind");
+        assert_eq!(err.field, "observations_spent");
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Deterministic fault injection for crash-safety testing.
+//!
+//! A [`FaultPlan`] scripts two kinds of failure:
+//!
+//! * **job panics** — armed on a [`crate::WorkerPool`] via
+//!   [`crate::WorkerPool::arm_faults`], the plan counts every job the
+//!   pool claims (across batches, in claim order) and panics inside the
+//!   scripted ordinals. The panic happens *inside* the pool's
+//!   catch-unwind boundary, so it exercises exactly the production
+//!   panic path: the batch settles, other jobs complete, the first
+//!   payload is re-raised on the caller, and the pool stays usable.
+//! * **process kills** — long-running drivers (the experiment binaries'
+//!   checkpoint loops) call [`FaultPlan::kill_if_due`] between trainer
+//!   steps; at the scripted step the process exits with
+//!   [`FAULT_EXIT_CODE`], simulating a crash at a step boundary. CI
+//!   uses this to prove a killed run resumes bit-identically.
+//!
+//! Plans are either scripted explicitly ([`FaultPlan::panic_on_job`],
+//! [`FaultPlan::kill_at_step`]) or drawn deterministically from a seed
+//! ([`FaultPlan::seeded`]) so a failing fuzz-style run can be replayed
+//! exactly. Arming is per-pool — tests running in parallel against
+//! their own pools never interfere.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Exit code used by [`FaultPlan::kill_if_due`], distinguishable from
+/// a genuine panic (101) or success (0) so harnesses can assert the
+/// kill they scripted is the kill that happened.
+pub const FAULT_EXIT_CODE: i32 = 42;
+
+/// A deterministic script of injected failures. See the module docs.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Pool-claim ordinals (0-based, counted since arming) that panic.
+    panic_jobs: BTreeSet<u64>,
+    /// Step boundary at which [`FaultPlan::kill_if_due`] exits.
+    kill_step: Option<u64>,
+    /// Jobs claimed so far under this plan.
+    claimed: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a disarmed baseline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripts a panic in the `ordinal`-th job (0-based) the armed pool
+    /// claims after arming. Chainable.
+    pub fn panic_on_job(mut self, ordinal: u64) -> Self {
+        self.panic_jobs.insert(ordinal);
+        self
+    }
+
+    /// Scripts a process kill at step boundary `step` (0-based),
+    /// delivered by [`FaultPlan::kill_if_due`]. Chainable.
+    pub fn kill_at_step(mut self, step: u64) -> Self {
+        self.kill_step = Some(step);
+        self
+    }
+
+    /// Draws `faults` distinct panic ordinals uniformly from
+    /// `0..horizon` using a SplitMix64 stream — the same seed always
+    /// yields the same plan, so any failure it uncovers replays
+    /// exactly.
+    pub fn seeded(seed: u64, horizon: u64, faults: usize) -> Self {
+        assert!(horizon > 0, "fault horizon must be non-empty");
+        let mut state = seed;
+        let mut panic_jobs = BTreeSet::new();
+        while panic_jobs.len() < faults.min(horizon as usize) {
+            panic_jobs.insert(splitmix64(&mut state) % horizon);
+        }
+        Self {
+            panic_jobs,
+            kill_step: None,
+            claimed: AtomicU64::new(0),
+        }
+    }
+
+    /// The scripted panic ordinals, in increasing order.
+    pub fn panic_ordinals(&self) -> Vec<u64> {
+        self.panic_jobs.iter().copied().collect()
+    }
+
+    /// Called by the pool as each claimed job starts, inside the
+    /// catch-unwind boundary: panics iff this claim's ordinal is
+    /// scripted.
+    pub(crate) fn on_job_start(&self) {
+        let ordinal = self.claimed.fetch_add(1, Relaxed);
+        if self.panic_jobs.contains(&ordinal) {
+            panic!("injected fault: job ordinal {ordinal}");
+        }
+    }
+
+    /// Whether a kill is scripted for `step`.
+    pub fn should_kill_at(&self, step: u64) -> bool {
+        self.kill_step == Some(step)
+    }
+
+    /// Exits the process with [`FAULT_EXIT_CODE`] iff a kill is
+    /// scripted for `step`. Call between trainer steps, *after* any
+    /// due checkpoint has been written, to simulate a crash at a step
+    /// boundary.
+    pub fn kill_if_due(&self, step: u64) {
+        if self.should_kill_at(step) {
+            eprintln!("fault plan: simulating crash at step boundary {step}");
+            std::process::exit(FAULT_EXIT_CODE);
+        }
+    }
+}
+
+/// SplitMix64 (Steele et al.) — the workspace's standard seed expander.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_replay_exactly() {
+        let a = FaultPlan::seeded(7, 100, 5);
+        let b = FaultPlan::seeded(7, 100, 5);
+        assert_eq!(a.panic_ordinals(), b.panic_ordinals());
+        assert_eq!(a.panic_ordinals().len(), 5);
+        assert!(a.panic_ordinals().iter().all(|&o| o < 100));
+        let c = FaultPlan::seeded(8, 100, 5);
+        assert_ne!(a.panic_ordinals(), c.panic_ordinals(), "seed must matter");
+    }
+
+    #[test]
+    fn seeded_plan_caps_faults_at_horizon() {
+        let plan = FaultPlan::seeded(3, 4, 100);
+        assert_eq!(plan.panic_ordinals(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kill_fires_only_at_the_scripted_step() {
+        let plan = FaultPlan::new().kill_at_step(6);
+        assert!(!plan.should_kill_at(5));
+        assert!(plan.should_kill_at(6));
+        assert!(!plan.should_kill_at(7));
+        assert!(!FaultPlan::new().should_kill_at(0));
+    }
+}

@@ -41,6 +41,10 @@ use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+pub mod fault;
+
+pub use fault::{FaultPlan, FAULT_EXIT_CODE};
+
 /// A job as the pool queue sees it: a type- and lifetime-erased runner.
 type QueueTask = Box<dyn FnOnce() + Send + 'static>;
 
@@ -55,6 +59,8 @@ struct PoolQueue {
 struct PoolShared {
     queue: Mutex<PoolQueue>,
     work_ready: Condvar,
+    /// Armed fault-injection script, consulted as each job starts.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 /// A persistent pool of worker threads executing batches of independent
@@ -76,6 +82,8 @@ struct Batch<'env, T> {
     done: Condvar,
     /// First panic payload observed, re-raised on the caller.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Fault script captured from the pool when the batch formed.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl<T: Send> Batch<'_, T> {
@@ -93,7 +101,18 @@ impl<T: Send> Batch<'_, T> {
                 .take()
                 .expect("job claimed twice");
             telemetry::metrics::counter("runtime_jobs_total").inc();
-            match catch_unwind(AssertUnwindSafe(job)) {
+            // The injected fault fires inside the same unwind boundary
+            // as the job, so it takes exactly the production panic
+            // path: first payload recorded, batch settles, caller
+            // re-raises.
+            let faults = self.faults.clone();
+            let run = move || {
+                if let Some(plan) = &faults {
+                    plan.on_job_start();
+                }
+                job()
+            };
+            match catch_unwind(AssertUnwindSafe(run)) {
                 Ok(value) => *self.slots[i].lock().unwrap() = Some(value),
                 Err(payload) => {
                     self.panic.lock().unwrap().get_or_insert(payload);
@@ -118,6 +137,7 @@ impl WorkerPool {
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            faults: Mutex::new(None),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -158,6 +178,21 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Arms a deterministic [`FaultPlan`] on this pool: every job any
+    /// subsequent batch claims is counted against the plan, and
+    /// scripted ordinals panic inside the job's unwind boundary.
+    /// Testing-only by intent; arming is per-pool so parallel tests on
+    /// their own pools never interfere.
+    pub fn arm_faults(&self, plan: Arc<FaultPlan>) {
+        *self.shared.faults.lock().unwrap() = Some(plan);
+    }
+
+    /// Removes any armed [`FaultPlan`]; in-flight batches keep the plan
+    /// they captured at formation.
+    pub fn disarm_faults(&self) {
+        *self.shared.faults.lock().unwrap() = None;
+    }
+
     #[cfg(test)]
     fn queued_tasks(&self) -> usize {
         self.shared.queue.lock().unwrap().tasks.len()
@@ -187,6 +222,7 @@ impl WorkerPool {
             remaining: Mutex::new(n),
             done: Condvar::new(),
             panic: Mutex::new(None),
+            faults: self.shared.faults.lock().unwrap().clone(),
         });
 
         // Never enqueue more runners than workers exist: a surplus
@@ -371,6 +407,51 @@ mod tests {
         assert!(batches.get() > batches_before);
         let snap = telemetry::metrics::snapshot();
         assert!(snap.counter("runtime_jobs_total").expect("registered") >= jobs_before + 12);
+    }
+
+    #[test]
+    fn injected_faults_take_the_production_panic_path() {
+        // A scripted fault must behave exactly like a real job panic:
+        // every other job completes, the first injected payload is
+        // re-raised on the caller, and the pool remains usable.
+        let pool = WorkerPool::new(2);
+        pool.arm_faults(Arc::new(FaultPlan::new().panic_on_job(3).panic_on_job(7)));
+        let finished = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..12usize)
+            .map(|i| {
+                let finished = Arc::clone(&finished);
+                Box::new(move || {
+                    finished.fetch_add(1, Relaxed);
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.run(4, jobs)));
+        let payload = caught.expect_err("scripted faults must surface");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("injected fault panics with a String");
+        assert!(message.contains("injected fault"), "{message}");
+        // Exactly the two scripted ordinals were suppressed.
+        assert_eq!(finished.load(Relaxed), 10);
+
+        // Disarmed, the same pool runs clean batches again.
+        pool.disarm_faults();
+        assert_eq!(
+            pool.run(4, jobs_squaring(9)),
+            (0..9).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn armed_pool_counts_jobs_across_batches() {
+        // Ordinals are cumulative since arming, so a plan can target a
+        // job deep into a multi-batch run.
+        let pool = WorkerPool::new(1);
+        pool.arm_faults(Arc::new(FaultPlan::new().panic_on_job(5)));
+        assert_eq!(pool.run(2, jobs_squaring(4)), vec![0, 1, 4, 9]);
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.run(2, jobs_squaring(4))));
+        assert!(caught.is_err(), "ordinal 5 falls in the second batch");
     }
 
     #[test]

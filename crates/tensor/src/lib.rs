@@ -35,6 +35,7 @@ pub mod optim;
 mod params;
 pub mod sparse;
 pub mod util;
+pub mod wire;
 
 pub use graph::{stable_sigmoid, stable_softplus, Graph, Var};
 pub use matrix::Matrix;

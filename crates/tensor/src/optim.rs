@@ -96,6 +96,71 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Whether the moment estimates line up with `params` slot-for-slot
+    /// (same arity, same shapes) — the resume-time validity check that
+    /// turns a would-be mid-training panic into a loud decode error.
+    pub fn tracks(&self, params: &ParamSet) -> bool {
+        self.m.len() == params.len()
+            && params
+                .iter()
+                .all(|(id, p)| self.m[id.0].shape() == p.shape())
+    }
+}
+
+/// Checkpoint codec: hyperparameters, step counter, and both moment
+/// estimate sets, bit-exactly. Decoding validates that `m` and `v`
+/// agree in arity and per-slot shape, so a resumed optimizer can never
+/// silently pair mismatched moments.
+impl crate::wire::Codec for Adam {
+    fn encode(&self, w: &mut crate::wire::Writer) {
+        w.put_f32(self.lr);
+        w.put_f32(self.beta1);
+        w.put_f32(self.beta2);
+        w.put_f32(self.eps);
+        w.put_u64(self.t);
+        w.put_u64(self.m.len() as u64);
+        for matrix in self.m.iter().chain(self.v.iter()) {
+            matrix.encode(w);
+        }
+    }
+
+    fn decode(r: &mut crate::wire::Reader) -> Result<Self, crate::wire::WireError> {
+        let lr = r.get_f32("adam lr")?;
+        let beta1 = r.get_f32("adam beta1")?;
+        let beta2 = r.get_f32("adam beta2")?;
+        let eps = r.get_f32("adam eps")?;
+        let t = r.get_u64("adam step counter")?;
+        // Each moment pair is at least two empty matrices (24 B each).
+        let n = r.get_len(48, "adam moment count")?;
+        let m: Vec<Matrix> = (0..n)
+            .map(|_| Matrix::decode(r))
+            .collect::<Result<_, _>>()?;
+        let v: Vec<Matrix> = (0..n)
+            .map(|_| Matrix::decode(r))
+            .collect::<Result<_, _>>()?;
+        for (i, (mm, vv)) in m.iter().zip(&v).enumerate() {
+            if mm.shape() != vv.shape() {
+                return Err(crate::wire::WireError::new(
+                    0,
+                    format!(
+                        "adam moment {i}: first-moment shape {:?} != second-moment shape {:?}",
+                        mm.shape(),
+                        vv.shape()
+                    ),
+                ));
+            }
+        }
+        Ok(Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t,
+            m,
+            v,
+        })
+    }
 }
 
 impl Optimizer for Adam {
@@ -178,6 +243,42 @@ mod tests {
         let mut opt = Adam::new(&params, 0.05);
         let final_w = converges(&mut opt, &mut params, w);
         assert!((final_w - 3.0).abs() < 1e-2, "got {final_w}");
+    }
+
+    #[test]
+    fn adam_checkpoint_round_trip_continues_identically() {
+        use crate::wire::Codec;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = ParamSet::new();
+        let w = params.add("w", crate::Matrix::uniform(3, 2, 1.0, &mut rng));
+        let mut opt = Adam::new(&params, 0.05);
+        let grad_step = |opt: &mut Adam, params: &mut ParamSet, scale: f32| {
+            let mut grads = GradStore::zeros_like(params);
+            for (i, g) in grads.get_mut(w).data_mut().iter_mut().enumerate() {
+                *g = scale * (i as f32 - 2.5);
+            }
+            opt.step(params, &grads);
+        };
+        for i in 0..5 {
+            grad_step(&mut opt, &mut params, 0.1 * (i + 1) as f32);
+        }
+
+        let mut resumed_opt = Adam::from_bytes(&opt.to_bytes()).expect("decodes");
+        let mut resumed_params = params.clone();
+        assert_eq!(resumed_opt.steps(), 5);
+        for i in 0..5 {
+            let scale = -0.2 * (i + 1) as f32;
+            grad_step(&mut opt, &mut params, scale);
+            grad_step(&mut resumed_opt, &mut resumed_params, scale);
+        }
+        for (a, b) in params
+            .get(w)
+            .data()
+            .iter()
+            .zip(resumed_params.get(w).data())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "resumed Adam diverged");
+        }
     }
 
     #[test]

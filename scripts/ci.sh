@@ -29,4 +29,38 @@ test -s "$smoke_dir/run.jsonl" || { echo "telemetry log empty"; exit 1; }
 cargo run --release -p telemetry --bin validate_jsonl -- \
     "$smoke_dir/run.jsonl" --expect-steps 3 --expect-cells 4
 
+echo "==> crash/resume smoke (scripted kill + bit-identical resume)"
+# First run checkpoints every 2 steps and a scripted fault kills the
+# process right after the step-4 checkpoint of the first cell (exit
+# code 42). The second run resumes from the checkpoint directory and
+# finishes everything. Stitching the two telemetry logs (dropping the
+# second manifest) must yield a gap-free 6-step trace for all 4 cells
+# — the proof that resume continued exactly where the crash stopped.
+crash_dir="$smoke_dir/crash"
+mkdir -p "$crash_dir"
+set +e
+cargo run --release -p bench --bin exp_fig4 -- \
+    --scale 0.02 --steps 6 --episodes 4 --attackers 4 --trajectory 5 \
+    --dim 8 --eval-users 16 --rankers itempop --threads 1 \
+    --checkpoint-every 2 --checkpoint-dir "$crash_dir/ckpt" \
+    --fault-kill-step 4 \
+    --out "$crash_dir" --telemetry "$crash_dir/run1.jsonl" >/dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 42 ]; then
+    echo "expected fault exit code 42, got $status"
+    exit 1
+fi
+ls "$crash_dir"/ckpt/*.ckpt >/dev/null || { echo "no checkpoint written before kill"; exit 1; }
+cargo run --release -p bench --bin exp_fig4 -- \
+    --scale 0.02 --steps 6 --episodes 4 --attackers 4 --trajectory 5 \
+    --dim 8 --eval-users 16 --rankers itempop --threads 1 \
+    --checkpoint-every 2 --checkpoint-dir "$crash_dir/ckpt" \
+    --resume "$crash_dir/ckpt" \
+    --out "$crash_dir" --telemetry "$crash_dir/run2.jsonl" >/dev/null
+cat "$crash_dir/run1.jsonl" > "$crash_dir/stitched.jsonl"
+tail -n +2 "$crash_dir/run2.jsonl" >> "$crash_dir/stitched.jsonl"
+cargo run --release -p telemetry --bin validate_jsonl -- \
+    "$crash_dir/stitched.jsonl" --expect-steps 6 --expect-cells 4
+
 echo "CI green."

@@ -1,0 +1,270 @@
+//! Integration proof of the checkpoint/resume contract: a training run
+//! interrupted at a step boundary and resumed from its checkpoint
+//! continues **bit-identically** to a run that was never interrupted —
+//! same per-step stats, same parameter bytes, same best episode — at
+//! every thread count. Also proves the failure side: corrupted files
+//! and mismatched configurations are refused loudly, never half-loaded.
+
+use poisonrec::{
+    ActionSpaceKind, CheckpointError, PoisonRecConfig, PoisonRecTrainer, PolicyConfig, PpoConfig,
+};
+use recsys::data::Dataset;
+use recsys::rankers::ItemPop;
+use recsys::system::{BlackBoxSystem, SystemConfig};
+use tensor::wire::Codec;
+
+/// Deterministic tiny victim; rebuilt fresh for every run so each
+/// trainer sees an untouched observation seed stream, exactly like a
+/// process restart.
+fn tiny_system() -> BlackBoxSystem {
+    let histories = (0..40u32)
+        .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
+        .collect();
+    let data = Dataset::from_histories("tiny", histories, 60, 8);
+    BlackBoxSystem::build(
+        data,
+        Box::new(ItemPop::new()),
+        SystemConfig {
+            eval_users: 24,
+            reserve_attackers: 8,
+            ..SystemConfig::default()
+        },
+    )
+}
+
+fn tiny_cfg(threads: usize) -> PoisonRecConfig {
+    PoisonRecConfig {
+        policy: PolicyConfig {
+            dim: 8,
+            num_attackers: 4,
+            trajectory_len: 6,
+            init_scale: 0.1,
+        },
+        ppo: PpoConfig {
+            lr: 0.01,
+            samples_per_step: 6,
+            batch: 6,
+            epochs: 2,
+            ..PpoConfig::default()
+        },
+        action_space: ActionSpaceKind::BcbtPopular,
+        seed: 5,
+        threads,
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("poisonrec-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Every deterministic bit of two trainers must agree.
+fn assert_trainers_identical(straight: &PoisonRecTrainer, resumed: &PoisonRecTrainer) {
+    assert_eq!(straight.history().len(), resumed.history().len());
+    for (a, b) in straight.history().iter().zip(resumed.history()) {
+        assert_eq!(a.step, b.step);
+        assert_eq!(
+            a.mean_reward.to_bits(),
+            b.mean_reward.to_bits(),
+            "step {}",
+            a.step
+        );
+        assert_eq!(
+            a.max_reward.to_bits(),
+            b.max_reward.to_bits(),
+            "step {}",
+            a.step
+        );
+        assert_eq!(
+            a.target_click_ratio.to_bits(),
+            b.target_click_ratio.to_bits(),
+            "step {}",
+            a.step
+        );
+        assert_eq!(
+            a.ppo_signal.to_bits(),
+            b.ppo_signal.to_bits(),
+            "step {}",
+            a.step
+        );
+        assert_eq!(a.observations, b.observations, "step {}", a.step);
+    }
+    assert_eq!(
+        straight.policy().params().to_bytes(),
+        resumed.policy().params().to_bytes(),
+        "parameter bytes diverged"
+    );
+    let (ba, bb) = (
+        straight.best_episode().expect("ran steps"),
+        resumed.best_episode().expect("ran steps"),
+    );
+    assert_eq!(ba.reward.to_bits(), bb.reward.to_bits());
+    assert_eq!(ba.trajectories, bb.trajectories);
+}
+
+#[test]
+fn kill_and_resume_continues_bit_identically() {
+    for threads in [1usize, 4] {
+        // Reference: 12 uninterrupted steps.
+        let sys_straight = tiny_system();
+        let mut straight = PoisonRecTrainer::new(tiny_cfg(threads), &sys_straight);
+        straight.train(&sys_straight, 12);
+
+        // Interrupted run: 6 steps, checkpoint, then drop the trainer
+        // AND its system — the in-process equivalent of a crash.
+        let dir = scratch_dir(&format!("resume-t{threads}"));
+        let path = dir.join("trainer.ckpt");
+        {
+            let sys_first = tiny_system();
+            let mut first = PoisonRecTrainer::new(tiny_cfg(threads), &sys_first);
+            first.train(&sys_first, 6);
+            first.save_checkpoint(&sys_first, &path).expect("save");
+        }
+
+        // Resume against a freshly built system and finish the run.
+        let sys_resumed = tiny_system();
+        let mut resumed =
+            PoisonRecTrainer::resume(&path, tiny_cfg(threads), &sys_resumed).expect("resume");
+        assert_eq!(resumed.history().len(), 6, "resume restores the step index");
+        resumed.train(&sys_resumed, 6);
+
+        assert_trainers_identical(&straight, &resumed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn resume_may_change_thread_count() {
+    // The fingerprint deliberately excludes `threads`: training is
+    // thread-count invariant, so a checkpoint written single-threaded
+    // must resume (and stay bit-identical) on a parallel scoring phase.
+    let sys_straight = tiny_system();
+    let mut straight = PoisonRecTrainer::new(tiny_cfg(1), &sys_straight);
+    straight.train(&sys_straight, 10);
+
+    let dir = scratch_dir("resume-cross-threads");
+    let path = dir.join("trainer.ckpt");
+    {
+        let sys_first = tiny_system();
+        let mut first = PoisonRecTrainer::new(tiny_cfg(1), &sys_first);
+        first.train(&sys_first, 5);
+        first.save_checkpoint(&sys_first, &path).expect("save");
+    }
+    let sys_resumed = tiny_system();
+    let mut resumed =
+        PoisonRecTrainer::resume(&path, tiny_cfg(4), &sys_resumed).expect("cross-thread resume");
+    resumed.train(&sys_resumed, 5);
+    assert_trainers_identical(&straight, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_config_is_refused() {
+    let dir = scratch_dir("resume-mismatch");
+    let path = dir.join("trainer.ckpt");
+    let sys = tiny_system();
+    let mut trainer = PoisonRecTrainer::new(tiny_cfg(1), &sys);
+    trainer.train(&sys, 2);
+    trainer.save_checkpoint(&sys, &path).expect("save");
+
+    // Different trainer seed => different run => refuse.
+    let mut other = tiny_cfg(1);
+    other.seed = 6;
+    let err = PoisonRecTrainer::resume(&path, other, &tiny_system())
+        .err()
+        .expect("seed change must be refused");
+    assert!(
+        matches!(err, CheckpointError::ConfigMismatch { .. }),
+        "unexpected error: {err}"
+    );
+
+    // Different action space => refuse.
+    let mut other = tiny_cfg(1);
+    other.action_space = ActionSpaceKind::Plain;
+    let err = PoisonRecTrainer::resume(&path, other, &tiny_system())
+        .err()
+        .expect("action-space change must be refused");
+    assert!(matches!(err, CheckpointError::ConfigMismatch { .. }));
+
+    // Resume against a system that has already spent observations
+    // would fork the seed stream => refuse.
+    let spent = tiny_system();
+    let mut warm = PoisonRecTrainer::new(tiny_cfg(1), &spent);
+    warm.train(&spent, 3); // 18 observations > the checkpoint's 12
+    let err = PoisonRecTrainer::resume(&path, tiny_cfg(1), &spent)
+        .err()
+        .expect("rewinding the observation stream must be refused");
+    assert!(
+        err.to_string().contains("observation"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_files_fail_loudly_not_halfway() {
+    let dir = scratch_dir("resume-corrupt");
+    let path = dir.join("trainer.ckpt");
+    let sys = tiny_system();
+    let mut trainer = PoisonRecTrainer::new(tiny_cfg(1), &sys);
+    trainer.train(&sys, 2);
+    trainer.save_checkpoint(&sys, &path).expect("save");
+    let pristine = std::fs::read(&path).expect("read");
+
+    // A flipped byte anywhere in the body breaks the checksum.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x10;
+    std::fs::write(&path, &flipped).expect("write");
+    let err = PoisonRecTrainer::resume(&path, tiny_cfg(1), &tiny_system())
+        .err()
+        .expect("corruption must be refused");
+    assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+
+    // Truncation is detected before any state is touched.
+    std::fs::write(&path, &pristine[..pristine.len() - 7]).expect("write");
+    let err = PoisonRecTrainer::resume(&path, tiny_cfg(1), &tiny_system())
+        .err()
+        .expect("truncation must be refused");
+    assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+
+    // A missing file is an I/O error, not a panic.
+    std::fs::remove_file(&path).expect("remove");
+    let err = PoisonRecTrainer::resume(&path, tiny_cfg(1), &tiny_system())
+        .err()
+        .expect("missing file must be an error");
+    assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_write_is_atomic_and_repeatable() {
+    // Saving twice at different steps must atomically replace the file
+    // (no .tmp residue) and the later file resumes at the later step.
+    let dir = scratch_dir("resume-atomic");
+    let path = dir.join("trainer.ckpt");
+    let sys = tiny_system();
+    let mut trainer = PoisonRecTrainer::new(tiny_cfg(1), &sys);
+    trainer.train(&sys, 2);
+    trainer.save_checkpoint(&sys, &path).expect("first save");
+    trainer.train(&sys, 2);
+    let bytes = trainer.save_checkpoint(&sys, &path).expect("second save");
+    assert_eq!(
+        std::fs::metadata(&path).expect("file exists").len(),
+        bytes,
+        "reported size matches the file"
+    );
+    assert!(
+        !path.with_extension("ckpt.tmp").exists()
+            && std::fs::read_dir(&dir)
+                .expect("dir")
+                .filter_map(|e| e.ok())
+                .all(|e| !e.file_name().to_string_lossy().ends_with(".tmp")),
+        "atomic write must leave no tmp residue"
+    );
+    let resumed =
+        PoisonRecTrainer::resume(&path, tiny_cfg(1), &tiny_system()).expect("resume latest");
+    assert_eq!(resumed.history().len(), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}

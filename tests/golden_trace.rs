@@ -1,0 +1,191 @@
+//! Golden-trace regression test: a pinned-seed training run streams
+//! its telemetry JSONL, which is diffed event-by-event,
+//! field-by-field against a committed fixture. Any change to the
+//! sampling stream, reward pipeline, PPO math, or telemetry schema
+//! shows up here as a precise first-divergence diff.
+//!
+//! Wall-clock fields (`*_secs`) are excluded from the comparison —
+//! everything else in a `step` event is deterministic for a pinned
+//! seed on a given build.
+//!
+//! To regenerate the fixture after an *intentional* behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! then commit `tests/golden/trace.jsonl` with the change that
+//! explains the new trajectory.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use poisonrec::{
+    ActionSpaceKind, PoisonRecConfig, PoisonRecTrainer, PolicyConfig, PpoConfig, StepLogger,
+};
+use recsys::data::Dataset;
+use recsys::rankers::ItemPop;
+use recsys::system::{BlackBoxSystem, SystemConfig};
+use telemetry::{Json, JsonlSink};
+
+/// Every field of a telemetry event that must be reproducible. The
+/// `*_secs` phase timings are deliberately absent.
+const DETERMINISTIC_FIELDS: &[&str] = &[
+    "type",
+    "experiment",
+    "seed",
+    "steps",
+    "episodes",
+    "dataset",
+    "ranker",
+    "design",
+    "threads",
+    "step",
+    "mean_reward",
+    "max_reward",
+    "target_click_ratio",
+    "ppo_signal",
+    "observations",
+];
+
+const GOLDEN_SEED: u64 = 41;
+const GOLDEN_STEPS: usize = 5;
+const GOLDEN_EPISODES: usize = 6;
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace.jsonl")
+}
+
+fn tiny_system() -> BlackBoxSystem {
+    let histories = (0..40u32)
+        .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
+        .collect();
+    let data = Dataset::from_histories("tiny", histories, 60, 8);
+    BlackBoxSystem::build(
+        data,
+        Box::new(ItemPop::new()),
+        SystemConfig {
+            eval_users: 24,
+            reserve_attackers: 8,
+            seed: GOLDEN_SEED,
+            ..SystemConfig::default()
+        },
+    )
+}
+
+/// Runs the pinned-seed cell, streaming its trace to `path`.
+fn run_trace(path: &Path) {
+    let sink = Arc::new(JsonlSink::create(path).expect("create trace file"));
+    let manifest = Json::obj()
+        .field("type", "manifest")
+        .field("experiment", "golden_trace")
+        .field("seed", GOLDEN_SEED)
+        .field("steps", GOLDEN_STEPS)
+        .field("episodes", GOLDEN_EPISODES);
+    sink.emit(&manifest).expect("manifest write");
+
+    let system = tiny_system();
+    let cfg = PoisonRecConfig {
+        policy: PolicyConfig {
+            dim: 8,
+            num_attackers: 4,
+            trajectory_len: 6,
+            init_scale: 0.1,
+        },
+        ppo: PpoConfig {
+            lr: 0.01,
+            samples_per_step: GOLDEN_EPISODES,
+            batch: GOLDEN_EPISODES,
+            epochs: 2,
+            ..PpoConfig::default()
+        },
+        action_space: ActionSpaceKind::BcbtPopular,
+        seed: GOLDEN_SEED,
+        threads: 1,
+    };
+    let mut trainer = PoisonRecTrainer::new(cfg, &system);
+    trainer.attach_logger(
+        StepLogger::new(Arc::clone(&sink))
+            .label("dataset", "tiny")
+            .label("ranker", "itempop")
+            .label("design", ActionSpaceKind::BcbtPopular.name())
+            .label("threads", 1u32),
+    );
+    trainer.train(&system, GOLDEN_STEPS);
+}
+
+/// Projects one JSONL line onto its deterministic fields, rendered in
+/// the canonical field order so comparisons are string equality.
+fn deterministic_view(line: &str) -> String {
+    let value = telemetry::json::parse(line)
+        .unwrap_or_else(|err| panic!("trace line does not parse: {err}\n  {line}"));
+    let mut filtered = Json::obj();
+    for &key in DETERMINISTIC_FIELDS {
+        if let Some(v) = value.get(key) {
+            filtered = filtered.field(key, v.clone());
+        }
+    }
+    filtered.render()
+}
+
+fn trace_views(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|err| panic!("cannot read {}: {err}", path.display()))
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(deterministic_view)
+        .collect()
+}
+
+#[test]
+fn pinned_seed_trace_matches_golden_fixture() {
+    let fresh = std::env::temp_dir().join(format!("golden-trace-{}.jsonl", std::process::id()));
+    run_trace(&fresh);
+    let golden = golden_path();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden.parent().expect("parent")).expect("golden dir");
+        std::fs::copy(&fresh, &golden).expect("update fixture");
+        std::fs::remove_file(&fresh).ok();
+        println!("regenerated {}", golden.display());
+        return;
+    }
+
+    assert!(
+        golden.exists(),
+        "missing fixture {}; generate it with: UPDATE_GOLDEN=1 cargo test --test golden_trace",
+        golden.display()
+    );
+    let expected = trace_views(&golden);
+    let actual = trace_views(&fresh);
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "event count changed: fixture has {}, run produced {} \
+         (if intentional: UPDATE_GOLDEN=1 cargo test --test golden_trace)",
+        expected.len(),
+        actual.len()
+    );
+    for (i, (want, got)) in expected.iter().zip(&actual).enumerate() {
+        assert_eq!(
+            want, got,
+            "trace diverged at event {i}:\n  fixture: {want}\n  run:     {got}\n\
+             (if intentional: UPDATE_GOLDEN=1 cargo test --test golden_trace)"
+        );
+    }
+    std::fs::remove_file(&fresh).ok();
+}
+
+#[test]
+fn golden_run_is_reproducible_within_a_build() {
+    // Sanity for the fixture's premise: two fresh runs in this very
+    // process produce identical deterministic views. If this fails,
+    // the fixture comparison above is testing noise, not regressions.
+    let a = std::env::temp_dir().join(format!("golden-a-{}.jsonl", std::process::id()));
+    let b = std::env::temp_dir().join(format!("golden-b-{}.jsonl", std::process::id()));
+    run_trace(&a);
+    run_trace(&b);
+    assert_eq!(trace_views(&a), trace_views(&b));
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}

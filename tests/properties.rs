@@ -1,16 +1,21 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants: the complete binary tree, action-space sampling,
-//! reward normalization, top-k selection, alias sampling, and the
-//! log-view overlay.
+//! reward normalization, top-k selection, alias sampling, the
+//! log-view overlay, and the checkpoint wire codec (bit-exact
+//! round-trips; malformed containers rejected with errors, not
+//! panics).
 
 use datasets::AliasTable;
+use poisonrec::checkpoint::{seal, unseal, FORMAT_VERSION, MAGIC};
 use poisonrec::{normalize_rewards, ActionSpace, ActionSpaceKind, ItemTree};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recsys::data::{Dataset, LogView};
 use recsys::eval::top_k_items;
-use tensor::Matrix;
+use tensor::optim::{Adam, Optimizer};
+use tensor::wire::Codec;
+use tensor::{GradStore, Matrix, ParamSet};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -171,5 +176,115 @@ proptest! {
         let base_pop = base.popularity();
         let poison_total: u32 = pop.iter().sum::<u32>() - base_pop.iter().sum::<u32>();
         prop_assert_eq!(poison_total as usize, n_attackers * t_len);
+    }
+
+    /// The checkpoint codec round-trips any ParamSet bit-exactly —
+    /// including NaN payloads, infinities, signed zeros, and denormals
+    /// smuggled in through raw bit patterns.
+    #[test]
+    fn param_set_codec_round_trips_bit_exactly(
+        shapes in prop::collection::vec(0usize..25, 0..6),
+        bits in prop::collection::vec(0u32..u32::MAX, 0..32),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let mut bit_iter = bits.iter().cycle();
+        for (i, &dims) in shapes.iter().enumerate() {
+            // One integer encodes a (rows, cols) pair in 0..5 x 0..5.
+            let (rows, cols) = (dims / 5, dims % 5);
+            let mut m = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            for v in m.data_mut() {
+                *v = f32::from_bits(*bit_iter.next().unwrap_or(&0));
+            }
+            params.add(format!("p{i}"), m);
+        }
+        let bytes = params.to_bytes();
+        let back = ParamSet::from_bytes(&bytes).expect("round-trips");
+        prop_assert_eq!(back.len(), params.len());
+        for (id, m) in params.iter() {
+            prop_assert_eq!(back.name(id), params.name(id));
+            prop_assert_eq!(back.get(id).shape(), m.shape());
+            for (a, b) in m.data().iter().zip(back.get(id).data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Re-encoding the decoded value reproduces the bytes exactly.
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    /// Adam round-trips bit-exactly after real optimization steps (so
+    /// moments are non-trivial), and its decoder rejects every
+    /// truncation of the encoding with an error instead of a panic.
+    #[test]
+    fn adam_codec_round_trips_and_rejects_truncations(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        steps in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let w = params.add("w", Matrix::uniform(rows, cols, 1.0, &mut rng));
+        let mut opt = Adam::new(&params, 0.01);
+        for s in 0..steps {
+            let mut grads = GradStore::zeros_like(&params);
+            for (i, g) in grads.get_mut(w).data_mut().iter_mut().enumerate() {
+                *g = (i as f32 + 1.0) * 0.1 * (s as f32 - 1.5);
+            }
+            opt.step(&mut params, &grads);
+        }
+        let bytes = opt.to_bytes();
+        let back = Adam::from_bytes(&bytes).expect("round-trips");
+        prop_assert_eq!(back.steps(), steps as u64);
+        prop_assert_eq!(back.to_bytes(), bytes.clone());
+        for cut in 0..bytes.len() {
+            prop_assert!(Adam::from_bytes(&bytes[..cut]).is_err(), "cut {} decoded", cut);
+        }
+    }
+
+    /// Sealed checkpoint containers survive a round-trip and reject
+    /// every single-byte flip (checksum), every truncation, wrong
+    /// magic, and future format versions — always with a descriptive
+    /// error, never a panic or a silent success.
+    #[test]
+    fn sealed_container_rejects_all_mutations(
+        body in prop::collection::vec(0u8..255, 0..200),
+        fingerprint in 0u64..u64::MAX,
+        flip_pos in 0usize..1000,
+        flip_bit in 0u32..8,
+        cut in 0usize..1000,
+    ) {
+        let sealed = seal(fingerprint, &body);
+        let (fp, back) = unseal(&sealed).expect("pristine container unseals");
+        prop_assert_eq!(fp, fingerprint);
+        prop_assert_eq!(back, &body[..]);
+
+        // Any single bit flip anywhere must be caught.
+        let mut mutated = sealed.clone();
+        let pos = flip_pos % mutated.len();
+        mutated[pos] ^= 1 << flip_bit;
+        let err = unseal(&mutated).expect_err("bit flip accepted");
+        prop_assert!(!err.to_string().is_empty());
+
+        // Any strict truncation must be caught.
+        let cut = cut % sealed.len();
+        let err = unseal(&sealed[..cut]).expect_err("truncation accepted");
+        prop_assert!(!err.to_string().is_empty());
+
+        // Wrong magic: refused by name.
+        let mut bad_magic = sealed.clone();
+        bad_magic[..8].copy_from_slice(b"NOTCKPT\0");
+        let err = unseal(&bad_magic).expect_err("bad magic accepted");
+        prop_assert!(err.to_string().contains("magic"), "{}", err);
+
+        // Future version: refused with an upgrade hint even when the
+        // checksum is recomputed to match (a genuinely newer file).
+        let mut future = Vec::new();
+        future.extend_from_slice(&MAGIC);
+        future.extend_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        future.extend_from_slice(&sealed[12..]);
+        let err = unseal(&future).expect_err("future version accepted");
+        prop_assert!(err.to_string().contains("newer"), "{}", err);
     }
 }

@@ -196,6 +196,28 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for checkpointing. A
+        /// generator rebuilt with [`StdRng::from_state`] continues the
+        /// exact stream this one would have produced.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        ///
+        /// # Panics
+        /// Panics on the all-zero state, which is outside xoshiro256++'s
+        /// period (it maps to itself forever).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "all-zero state is not a valid xoshiro256++ state"
+            );
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -275,6 +297,24 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(123);
+        for _ in 0..37 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero state")]
+    fn all_zero_state_is_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]
