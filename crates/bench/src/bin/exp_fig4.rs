@@ -11,6 +11,9 @@
 //! line, then one `step` event per (ranker, design, step) with phase
 //! durations and the cumulative observation count, then a closing
 //! `metrics` snapshot (validated by `telemetry::validate_jsonl`).
+//! With `--trace trace.json`, records a Chrome trace of the whole run
+//! (trainer phases, pool jobs, system observe/retrain, op profile) —
+//! open it in Perfetto or feed it to `trace_report`.
 
 use analysis::{write_text, Table};
 use bench::{run_parallel, ExpArgs};
@@ -23,6 +26,7 @@ fn main() {
     let rankers = args.ranker_list();
     let designs = ActionSpaceKind::ALL;
     let sink = args.open_telemetry("fig4");
+    args.init_trace();
 
     // One job per (ranker, design): builds its own system (cells are
     // independent) and returns the training history. All cells share
@@ -63,6 +67,7 @@ fn main() {
         sink.emit_metrics_snapshot()
             .expect("telemetry metrics write");
     }
+    args.finish_trace();
 
     let mut table = Table::new(["ranker", "design", "step", "mean_recnum", "max_recnum"]);
     for cell in &results {

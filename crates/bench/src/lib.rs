@@ -61,6 +61,13 @@ pub struct ExpArgs {
     /// Fault injection: simulate a crash (exit [`runtime::FAULT_EXIT_CODE`])
     /// at this step boundary, after any due checkpoint was written.
     pub fault_kill_step: Option<u64>,
+    /// When set, enable hierarchical tracing + the per-op profiler for
+    /// the run and write a Chrome Trace Event JSON file here (open in
+    /// Perfetto; inspect with `trace_report`).
+    pub trace: Option<PathBuf>,
+    /// When set, write a `BENCH_*`-schema perf snapshot here (compare
+    /// with `perf_diff`). Which metrics land in it is up to the binary.
+    pub bench_json: Option<PathBuf>,
 }
 
 impl Default for ExpArgs {
@@ -85,6 +92,8 @@ impl Default for ExpArgs {
             checkpoint_dir: None,
             resume: None,
             fault_kill_step: None,
+            trace: None,
+            bench_json: None,
         }
     }
 }
@@ -130,6 +139,8 @@ impl ExpArgs {
                     args.fault_kill_step =
                         Some(take("--fault-kill-step").parse().expect("fault-kill-step"))
                 }
+                "--trace" => args.trace = Some(PathBuf::from(take("--trace"))),
+                "--bench-json" => args.bench_json = Some(PathBuf::from(take("--bench-json"))),
                 "--rankers" => {
                     args.rankers = take("--rankers")
                         .split(',')
@@ -166,7 +177,7 @@ impl ExpArgs {
                          --dim E --eval-users U --seed S --out DIR --threads K \
                          --telemetry FILE.jsonl --rankers A,B --datasets X,Y --paper \
                          --checkpoint-every N --checkpoint-dir DIR --resume DIR \
-                         --fault-kill-step N"
+                         --fault-kill-step N --trace FILE.json --bench-json FILE.json"
                     );
                     std::process::exit(0);
                 }
@@ -404,6 +415,86 @@ impl ExpArgs {
             );
         sink.emit(&manifest).expect("telemetry manifest write");
         Some(Arc::new(sink))
+    }
+
+    /// Arms tracing + the op profiler when `--trace` was given. Call
+    /// once, before the traced work; pair with [`ExpArgs::finish_trace`].
+    /// Tracing never touches any RNG, so arming it cannot change a
+    /// single sampled reward (asserted by `tests/trace.rs`).
+    pub fn init_trace(&self) {
+        if self.trace.is_none() {
+            return;
+        }
+        telemetry::trace::reset();
+        tensor::profile::reset();
+        telemetry::trace::enable();
+    }
+
+    /// Stops tracing, drains the ring buffers, and writes the Chrome
+    /// Trace Event file named by `--trace` with the op profile embedded
+    /// as the `"opProfile"` top-level field. Returns the op profile so
+    /// binaries can also fold per-op rows into a `--bench-json`
+    /// snapshot. No-op (empty profile) without `--trace`.
+    pub fn finish_trace(&self) -> tensor::OpProfile {
+        let Some(path) = &self.trace else {
+            return tensor::OpProfile::default();
+        };
+        telemetry::trace::disable();
+        let snapshot = telemetry::TraceCollector::collect();
+        let profile = tensor::profile::snapshot();
+        snapshot
+            .write_chrome(path, &[("opProfile", profile.to_json())])
+            .unwrap_or_else(|err| panic!("cannot write trace {}: {err}", path.display()));
+        println!(
+            "trace: {} span(s) on {} track(s) -> {}",
+            snapshot.span_count(),
+            snapshot.tracks.len(),
+            path.display()
+        );
+        profile
+    }
+
+    /// Writes a `BENCH_*`-schema snapshot to `--bench-json` (no-op
+    /// without the flag). `metrics` are `(name, seconds)` pairs from
+    /// the binary; per-op average wall times from `profile` are
+    /// appended as `op/<Kind>/{fwd,bwd}_ns_per_call` rows.
+    pub fn write_bench_json(
+        &self,
+        label: &str,
+        metrics: &[(String, f64)],
+        profile: &tensor::OpProfile,
+    ) {
+        let Some(path) = &self.bench_json else {
+            return;
+        };
+        let mut snapshot = telemetry::perf::BenchSnapshot::new(label);
+        for (name, secs) in metrics {
+            snapshot.push(name.clone(), *secs, "s");
+        }
+        for row in &profile.rows {
+            if row.fwd_calls > 0 {
+                snapshot.push(
+                    format!("op/{}/fwd_ns_per_call", row.kind.name()),
+                    row.fwd_ns as f64 / row.fwd_calls as f64,
+                    "ns",
+                );
+            }
+            if row.bwd_calls > 0 {
+                snapshot.push(
+                    format!("op/{}/bwd_ns_per_call", row.kind.name()),
+                    row.bwd_ns as f64 / row.bwd_calls as f64,
+                    "ns",
+                );
+            }
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("bench output dir");
+            }
+        }
+        std::fs::write(path, snapshot.to_json().render())
+            .unwrap_or_else(|err| panic!("cannot write bench snapshot {}: {err}", path.display()));
+        println!("bench snapshot -> {}", path.display());
     }
 }
 

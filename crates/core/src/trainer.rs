@@ -312,19 +312,23 @@ impl PoisonRecTrainer {
         // RNG, so the policy's sampling stream never depends on how
         // the scoring phase is scheduled.
         let sample_watch = Stopwatch::start();
+        let sample_span = telemetry::trace::span("sample", "trainer");
         let mut episodes: Vec<Episode> = (0..m)
             .map(|_| self.policy.sample_episode(&self.space, &mut self.rng))
             .collect();
+        drop(sample_span);
         let sample_secs = sample_watch.elapsed_secs();
 
         // Scoring phase (parallel): M independent system retrains.
         let score_watch = Stopwatch::start();
+        let score_span = telemetry::trace::span("score", "trainer");
         let batch: Vec<&[Trajectory]> =
             episodes.iter().map(|e| e.trajectories.as_slice()).collect();
         let observations = system.observe_batch(&batch, self.cfg.threads);
         for (ep, obs) in episodes.iter_mut().zip(&observations) {
             ep.reward = obs.rec_num as f32;
         }
+        drop(score_span);
         let score_secs = score_watch.elapsed_secs();
         self.observations += observations.len() as u64;
 
@@ -347,6 +351,7 @@ impl PoisonRecTrainer {
         }
 
         let update_watch = Stopwatch::start();
+        let update_span = telemetry::trace::span("update", "trainer");
         let mut signal_sum = 0.0f32;
         for _ in 0..self.cfg.ppo.epochs {
             let mut idx: Vec<usize> = (0..episodes.len()).collect();
@@ -364,6 +369,7 @@ impl PoisonRecTrainer {
                 .update_batch(&mut self.policy, &batch, &advantages);
         }
 
+        drop(update_span);
         let update_secs = update_watch.elapsed_secs();
 
         let rewards: Vec<f32> = episodes.iter().map(|e| e.reward).collect();

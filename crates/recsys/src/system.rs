@@ -301,11 +301,14 @@ impl BlackBoxSystem {
     /// metrics reader.
     fn observe_core(&self, poison: &[Trajectory], seed: u64, with_lists: bool) -> Observation {
         let _observe_span = telemetry::Span::enter("system_observe_seconds");
+        let _observe_trace = telemetry::trace::span("observe", "system");
         telemetry::metrics::counter("system_observations_total").inc();
         let mut ranker = self.clean.boxed_clone();
         let view = LogView::new(&self.base, poison);
         let retrain = telemetry::Stopwatch::start();
+        let retrain_trace = telemetry::trace::span("retrain", "system");
         ranker.fine_tune(&view, seed);
+        drop(retrain_trace);
         telemetry::metrics::histogram("system_retrain_seconds", &telemetry::TIME_BUCKETS)
             .record(retrain.elapsed_secs());
         let rec_num = self.protocol.rec_num(&*ranker, &self.base);

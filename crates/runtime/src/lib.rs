@@ -33,6 +33,11 @@
 //! and wall time), and the `runtime_queue_depth` gauge (helper runners
 //! currently parked in the shared queue). All are atomics on the
 //! already-cold batch paths; job results are unaffected.
+//!
+//! When hierarchical tracing is enabled (`telemetry::trace`), every
+//! `run` opens a `batch` span on the caller's track and every claimed
+//! job a `job` span on whichever thread ran it — so worker activity
+//! shows up on per-worker tracks in the Chrome trace (DESIGN.md §5d).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -107,6 +112,10 @@ impl<T: Send> Batch<'_, T> {
             // re-raises.
             let faults = self.faults.clone();
             let run = move || {
+                // On a worker the span lands on that worker's trace
+                // track ("runtime-worker-N"); on the caller-helps lane
+                // it nests under whatever span the caller has open.
+                let _job_span = telemetry::trace::span("job", "runtime");
                 if let Some(plan) = &faults {
                     plan.on_job_start();
                 }
@@ -214,6 +223,7 @@ impl WorkerPool {
         }
         telemetry::metrics::counter("runtime_batches_total").inc();
         let _batch_span = telemetry::Span::enter("runtime_batch_seconds");
+        let _batch_trace = telemetry::trace::span("batch", "runtime");
         let threads = threads.max(1).min(n);
         let batch = Arc::new(Batch {
             jobs: jobs.into_iter().map(|j| Mutex::new(Some(j))).collect(),

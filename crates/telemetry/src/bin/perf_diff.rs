@@ -1,0 +1,102 @@
+//! Compares two `BENCH_*.json` performance snapshots and fails on
+//! regression — the perf gate behind `scripts/bench_snapshot.sh` and
+//! the CI bench stage (DESIGN.md §5d).
+//!
+//! ```text
+//! perf_diff <baseline.json> <candidate.json> [--threshold R]
+//! ```
+//!
+//! Every metric is lower-is-better wall time. A metric regresses when
+//! `candidate > baseline * (1 + R)`; `R` defaults to 0.10 (+10%).
+//! Metrics present on only one side are reported but never fail the
+//! gate. Exit code: 0 when no metric regressed, 1 otherwise (or on a
+//! malformed snapshot).
+
+use std::process::ExitCode;
+
+use telemetry::json;
+use telemetry::perf::{self, BenchSnapshot, Verdict};
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("perf_diff: {msg}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<BenchSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let doc = json::parse(&text).map_err(|err| format!("{path}: {err}"))?;
+    BenchSnapshot::from_json(&doc).map_err(|err| format!("{path}: {err}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(base_path), Some(cand_path)) = (args.next(), args.next()) else {
+        return fail("usage: perf_diff <baseline.json> <candidate.json> [--threshold R]".into());
+    };
+    let mut threshold = perf::DEFAULT_THRESHOLD;
+    while let Some(flag) = args.next() {
+        match (flag.as_str(), args.next().and_then(|v| v.parse().ok())) {
+            ("--threshold", Some(r)) => threshold = r,
+            (other, _) => return fail(format!("bad flag or value: {other}")),
+        }
+    }
+
+    let baseline = match load(&base_path) {
+        Ok(snapshot) => snapshot,
+        Err(err) => return fail(err),
+    };
+    let candidate = match load(&cand_path) {
+        Ok(snapshot) => snapshot,
+        Err(err) => return fail(err),
+    };
+
+    println!(
+        "baseline `{}` ({}) vs candidate `{}` ({}), threshold +{:.0}%",
+        baseline.label,
+        base_path,
+        candidate.label,
+        cand_path,
+        threshold * 100.0
+    );
+    println!(
+        "{:<44} {:>14} {:>14} {:>9}  verdict",
+        "metric", "baseline", "candidate", "delta"
+    );
+    let rows = perf::diff(&baseline, &candidate, threshold);
+    for row in &rows {
+        let fmt = |v: Option<f64>| v.map_or_else(|| "-".into(), |v| format!("{v:.6}"));
+        let delta = row
+            .relative
+            .map_or_else(|| "-".into(), |r| format!("{:+.1}%", r * 100.0));
+        let verdict = match row.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::BaselineOnly => "baseline-only",
+            Verdict::CandidateOnly => "candidate-only",
+        };
+        println!(
+            "{:<44} {:>14} {:>14} {:>9}  {verdict}",
+            row.name,
+            fmt(row.baseline),
+            fmt(row.candidate),
+            delta
+        );
+    }
+
+    let regressed = rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::Regressed)
+        .count();
+    if regressed > 0 {
+        eprintln!(
+            "perf_diff: {regressed} metric(s) regressed beyond +{:.0}%",
+            threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf_diff: no regression ({} metric(s) compared)",
+        rows.len()
+    );
+    ExitCode::SUCCESS
+}

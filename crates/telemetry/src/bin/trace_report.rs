@@ -1,0 +1,207 @@
+//! Flamegraph-style text report over a Chrome trace file captured with
+//! `--trace` (see DESIGN.md §5d).
+//!
+//! ```text
+//! trace_report trace.json [--top N]
+//! ```
+//!
+//! Prints two tables:
+//!
+//! 1. **Span aggregation** — per span name: invocation count, total
+//!    wall time (including children) and self time (excluding child
+//!    spans), with self time as a share of traced wall time (the
+//!    summed duration of root spans — self times partition it, so the
+//!    full table always accounts for 100%).
+//! 2. **Op table** — the embedded `"opProfile"` (per tensor-`Op`-kind
+//!    forward/backward wall time, calls, elements, FLOP estimates),
+//!    top N rows by self time, with the share of total op time the
+//!    shown rows cover.
+//!
+//! The trace is validated first; a malformed file exits 1.
+
+use std::process::ExitCode;
+
+use telemetry::json::{self, Json};
+use telemetry::trace;
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("trace_report: {msg}");
+    ExitCode::FAILURE
+}
+
+fn human_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return fail("usage: trace_report <trace.json> [--top N]".into());
+    };
+    let mut top = 10usize;
+    while let Some(flag) = args.next() {
+        match (flag.as_str(), args.next().and_then(|v| v.parse().ok())) {
+            ("--top", Some(n)) => top = n,
+            (other, _) => return fail(format!("bad flag or value: {other}")),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => return fail(format!("cannot read {path}: {err}")),
+    };
+    let doc = match json::parse(&text) {
+        Ok(doc) => doc,
+        Err(err) => return fail(format!("{path}: {err}")),
+    };
+    let stats = match trace::validate_chrome(&doc) {
+        Ok(stats) => stats,
+        Err(err) => return fail(format!("{path}: invalid trace: {err}")),
+    };
+    let (aggs, root_ns) = match trace::aggregate_chrome(&doc) {
+        Ok(out) => out,
+        Err(err) => return fail(format!("{path}: {err}")),
+    };
+
+    println!(
+        "trace: {} span(s) on {} track(s), traced wall time {} ms",
+        stats.spans,
+        stats.tracks,
+        human_ms(root_ns)
+    );
+    let dropped = doc.get("droppedEvents").and_then(Json::as_u64).unwrap_or(0);
+    let unmatched = doc
+        .get("unmatchedEvents")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if dropped + unmatched > 0 {
+        println!("note: {dropped} event(s) dropped by ring wrap, {unmatched} unmatched");
+    }
+
+    println!();
+    println!(
+        "{:<24} {:>8} {:>12} {:>12} {:>7}",
+        "span", "count", "total_ms", "self_ms", "self%"
+    );
+    let mut shown_self = 0u64;
+    for agg in aggs.iter().take(top) {
+        shown_self += agg.self_ns;
+        let share = if root_ns > 0 {
+            100.0 * agg.self_ns as f64 / root_ns as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<24} {:>8} {:>12} {:>12} {:>6.1}%",
+            format!("{}/{}", agg.cat, agg.name),
+            agg.count,
+            human_ms(agg.total_ns),
+            human_ms(agg.self_ns),
+            share
+        );
+    }
+    if root_ns > 0 {
+        println!(
+            "top {} of {} span name(s) cover {:.1}% of traced wall time",
+            top.min(aggs.len()),
+            aggs.len(),
+            100.0 * shown_self as f64 / root_ns as f64
+        );
+    }
+
+    let Some(profile_json) = doc.get("opProfile") else {
+        println!();
+        println!("no opProfile embedded in this trace");
+        return ExitCode::SUCCESS;
+    };
+    // The bin must not depend on `tensor` (dependency direction), so it
+    // reads the opProfile rows structurally.
+    let Json::Arr(rows) = profile_json else {
+        return fail("opProfile is not an array".into());
+    };
+    struct OpRow {
+        op: String,
+        fwd_calls: u64,
+        fwd_ns: u64,
+        bwd_calls: u64,
+        bwd_ns: u64,
+        elems: u64,
+        flops: u64,
+    }
+    let mut ops = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let field = |key: &str| row.get(key).and_then(Json::as_u64);
+        let (Some(op), Some(fwd_calls), Some(fwd_ns), Some(bwd_calls), Some(bwd_ns)) = (
+            row.get("op").and_then(Json::as_str),
+            field("fwd_calls"),
+            field("fwd_ns"),
+            field("bwd_calls"),
+            field("bwd_ns"),
+        ) else {
+            return fail(format!("opProfile[{i}]: missing fields"));
+        };
+        ops.push(OpRow {
+            op: op.to_string(),
+            fwd_calls,
+            fwd_ns,
+            bwd_calls,
+            bwd_ns,
+            elems: field("elems").unwrap_or(0),
+            flops: field("flops").unwrap_or(0),
+        });
+    }
+    ops.sort_by_key(|row| std::cmp::Reverse(row.fwd_ns + row.bwd_ns));
+    let total_op_ns: u64 = ops.iter().map(|r| r.fwd_ns + r.bwd_ns).sum();
+
+    println!();
+    println!(
+        "{:<16} {:>9} {:>11} {:>9} {:>11} {:>12} {:>12} {:>7}",
+        "op", "fwd_calls", "fwd_ms", "bwd_calls", "bwd_ms", "elems", "mflops", "self%"
+    );
+    let mut shown_op_ns = 0u64;
+    for row in ops.iter().take(top) {
+        let self_ns = row.fwd_ns + row.bwd_ns;
+        shown_op_ns += self_ns;
+        let share = if total_op_ns > 0 {
+            100.0 * self_ns as f64 / total_op_ns as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<16} {:>9} {:>11} {:>9} {:>11} {:>12} {:>12.1} {:>6.1}%",
+            row.op,
+            row.fwd_calls,
+            human_ms(row.fwd_ns),
+            row.bwd_calls,
+            human_ms(row.bwd_ns),
+            row.elems,
+            row.flops as f64 / 1e6,
+            share
+        );
+    }
+    if total_op_ns > 0 {
+        let covered = 100.0 * shown_op_ns as f64 / total_op_ns as f64;
+        println!(
+            "top {} of {} op kind(s) cover {covered:.1}% of op time \
+             ({} ms op time = {:.1}% of traced wall time)",
+            top.min(ops.len()),
+            ops.len(),
+            human_ms(total_op_ns),
+            if root_ns > 0 {
+                100.0 * total_op_ns as f64 / root_ns as f64
+            } else {
+                0.0
+            },
+        );
+        // The acceptance gate for this table: the printed rows must
+        // explain at least 90% of measured op self time.
+        if covered < 90.0 {
+            eprintln!(
+                "trace_report: top-{top} op rows cover only {covered:.1}% (<90%) of op time; \
+                 re-run with a larger --top"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

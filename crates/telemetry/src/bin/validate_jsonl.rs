@@ -10,7 +10,13 @@
 //!   and the cumulative `observations` equals
 //!   `episodes × (step + 1)` (episodes read from the manifest);
 //! * with `--expect-steps N`, every cell logged exactly `N` steps;
-//!   with `--expect-cells N`, exactly `N` cells logged steps.
+//!   with `--expect-cells N`, exactly `N` cells logged steps;
+//! * with `--trace FILE`, `FILE` additionally validates as a Chrome
+//!   Trace Event document per the workspace trace schema: every span
+//!   id has exactly one balanced begin/end pair, timestamps are
+//!   monotone per track, and `B`/`E` events nest LIFO per track
+//!   (see `telemetry::trace::validate_chrome`). `--trace` may also be
+//!   used alone, without a run log.
 //!
 //! Exit code 0 on success, 1 with a diagnostic on the first violation.
 
@@ -18,6 +24,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use telemetry::json::{self, Json};
+use telemetry::trace;
 
 struct CellState {
     next_step: u64,
@@ -29,23 +36,63 @@ fn fail(msg: String) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Parses and validates a Chrome trace file; returns a summary line.
+fn check_trace(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let doc = json::parse(&text).map_err(|err| format!("{path}: {err}"))?;
+    let stats = trace::validate_chrome(&doc).map_err(|err| format!("{path}: {err}"))?;
+    Ok(format!(
+        "trace OK — {} span(s) on {} track(s)",
+        stats.spans, stats.tracks
+    ))
+}
+
 fn main() -> ExitCode {
+    let usage = "usage: validate_jsonl [<run.jsonl>] [--expect-steps N] [--expect-cells N] \
+                 [--trace FILE]";
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        return fail(
-            "usage: validate_jsonl <run.jsonl> [--expect-steps N] [--expect-cells N]".into(),
-        );
+    let Some(first) = args.next() else {
+        return fail(usage.into());
     };
     let mut expect_steps: Option<u64> = None;
     let mut expect_cells: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
+    let path = if first == "--trace" {
+        match args.next() {
+            Some(p) => trace_path = Some(p),
+            None => return fail(usage.into()),
+        }
+        None
+    } else {
+        Some(first)
+    };
     while let Some(flag) = args.next() {
-        let value = args.next().and_then(|v| v.parse().ok());
-        match (flag.as_str(), value) {
-            ("--expect-steps", Some(v)) => expect_steps = Some(v),
-            ("--expect-cells", Some(v)) => expect_cells = Some(v as usize),
-            (other, _) => return fail(format!("bad flag or value: {other}")),
+        match flag.as_str() {
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => return fail(usage.into()),
+            },
+            other => {
+                let value = args.next().and_then(|v| v.parse().ok());
+                match (other, value) {
+                    ("--expect-steps", Some(v)) => expect_steps = Some(v),
+                    ("--expect-cells", Some(v)) => expect_cells = Some(v as usize),
+                    (other, _) => return fail(format!("bad flag or value: {other}")),
+                }
+            }
         }
     }
+
+    let trace_summary = match trace_path.as_deref().map(check_trace) {
+        Some(Ok(summary)) => Some(summary),
+        Some(Err(err)) => return fail(err),
+        None => None,
+    };
+    let Some(path) = path else {
+        // --trace only: the trace validated; there is no run log.
+        println!("validate_jsonl: OK — {}", trace_summary.expect("trace ran"));
+        return ExitCode::SUCCESS;
+    };
 
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
@@ -164,10 +211,11 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "validate_jsonl: OK — {} event line(s), {} cell(s){}",
+        "validate_jsonl: OK — {} event line(s), {} cell(s){}{}",
         events,
         cells.len(),
         episodes.map_or(String::new(), |m| format!(", {m} episodes/step")),
+        trace_summary.map_or(String::new(), |s| format!(", {s}")),
     );
     ExitCode::SUCCESS
 }

@@ -20,16 +20,27 @@
 //!   `src/bin/validate_jsonl.rs` checks that schema and backs the CI
 //!   smoke stage.
 //!
+//! * [`trace`] — hierarchical begin/end span tracing into per-thread
+//!   lock-free ring buffers behind one process-wide enable flag,
+//!   drained by [`trace::TraceCollector`] into Chrome Trace Event
+//!   Format JSON (open in Perfetto or `chrome://tracing`). See
+//!   DESIGN.md §5d.
+//! * [`perf`] — the `BENCH_*.json` snapshot schema shared by
+//!   `scripts/bench_snapshot.sh` and the `perf_diff` regression gate.
+//!
 //! Nothing in this crate touches any RNG: instrumentation can never
 //! perturb the workspace's determinism guarantees (only the *timing
 //! values* in the output differ between runs).
 
 pub mod json;
 pub mod metrics;
+pub mod perf;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot, TIME_BUCKETS};
 pub use sink::JsonlSink;
 pub use span::{Span, Stopwatch};
+pub use trace::{TraceCollector, TraceSnapshot, TraceSpan};

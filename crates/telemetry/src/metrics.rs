@@ -67,12 +67,16 @@ pub const TIME_BUCKETS: [f64; 12] = [
 
 /// Fixed-bucket histogram: one atomic count per bucket plus a running
 /// sum and total count. Bounds are upper bounds, ascending; samples
-/// above the last bound land in an implicit overflow bucket.
+/// above the last bound land in an implicit overflow bucket. NaN
+/// samples are quarantined in [`Histogram::nan_count`] — they never
+/// reach a bucket or the sum, so `sum` stays finite no matter what a
+/// broken producer records.
 #[derive(Debug)]
 pub struct Histogram {
     bounds: Vec<f64>,
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
+    nan_count: AtomicU64,
     /// Sum of samples, stored as `f64` bits and updated by CAS.
     sum_bits: AtomicU64,
 }
@@ -87,11 +91,19 @@ impl Histogram {
             bounds: bounds.to_vec(),
             buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
+            nan_count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
         }
     }
 
     pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            // NaN compares false against every bound, so without this
+            // guard it would land in the overflow bucket and — worse —
+            // poison `sum` permanently through the CAS loop below.
+            self.nan_count.fetch_add(1, Relaxed);
+            return;
+        }
         let idx = self
             .bounds
             .iter()
@@ -112,8 +124,14 @@ impl Histogram {
         }
     }
 
+    /// Finite samples recorded (NaNs excluded).
     pub fn count(&self) -> u64 {
         self.count.load(Relaxed)
+    }
+
+    /// NaN samples rejected by [`Histogram::record`].
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count.load(Relaxed)
     }
 
     pub fn sum(&self) -> f64 {
@@ -130,6 +148,47 @@ impl Histogram {
             .zip(self.buckets.iter().map(|b| b.load(Relaxed)))
             .collect()
     }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
+    /// interpolation inside the bucket holding the target rank —
+    /// the Prometheus `histogram_quantile` scheme. The first bucket
+    /// interpolates from 0; a target in the overflow bucket returns
+    /// the last finite bound (the histogram cannot see further).
+    /// `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.buckets(), self.count(), q)
+    }
+}
+
+/// Quantile estimation over `(upper_bound, count)` buckets; shared by
+/// live [`Histogram`]s and [`MetricValue::Histogram`] snapshots.
+pub fn quantile_from_buckets(buckets: &[(f64, u64)], count: u64, q: f64) -> Option<f64> {
+    if count == 0 || buckets.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let target = q * count as f64;
+    let mut cumulative = 0u64;
+    let mut lower = 0.0f64;
+    for (i, &(le, n)) in buckets.iter().enumerate() {
+        let reached = cumulative + n;
+        if reached as f64 >= target {
+            if le.is_infinite() {
+                // Overflow bucket: report the largest finite bound.
+                return Some(lower);
+            }
+            if n == 0 {
+                return Some(le);
+            }
+            let into = (target - cumulative as f64) / n as f64;
+            let base = if i == 0 { 0.0 } else { lower };
+            return Some(base + (le - base) * into.clamp(0.0, 1.0));
+        }
+        cumulative = reached;
+        if le.is_finite() {
+            lower = le;
+        }
+    }
+    Some(lower)
 }
 
 enum Instrument {
@@ -145,9 +204,22 @@ pub enum MetricValue {
     Gauge(i64),
     Histogram {
         count: u64,
+        nan_count: u64,
         sum: f64,
         buckets: Vec<(f64, u64)>,
     },
+}
+
+impl MetricValue {
+    /// Quantile estimate for histogram values, `None` otherwise.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        match self {
+            MetricValue::Histogram { count, buckets, .. } => {
+                quantile_from_buckets(buckets, *count, q)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// A point-in-time copy of a whole registry, in name order.
@@ -175,7 +247,10 @@ impl Snapshot {
 
     /// Renders the snapshot as one JSON object keyed by metric name
     /// (counters/gauges as numbers, histograms as
-    /// `{count, sum, buckets: [{le, count}]}`).
+    /// `{count, nan_count, sum, p50, p95, p99, buckets: [{le, count}]}`
+    /// — quantiles pre-computed here so `trace_report`/`perf_diff`
+    /// never re-derive them from raw buckets; they render as `null`
+    /// on an empty histogram).
     pub fn to_json(&self) -> Json {
         let mut obj = Json::obj();
         for (name, value) in &self.entries {
@@ -184,6 +259,7 @@ impl Snapshot {
                 MetricValue::Gauge(g) => Json::I64(*g),
                 MetricValue::Histogram {
                     count,
+                    nan_count,
                     sum,
                     buckets,
                 } => {
@@ -191,9 +267,16 @@ impl Snapshot {
                         .iter()
                         .map(|&(le, n)| Json::obj().field("le", le).field("count", n))
                         .collect();
+                    let quantile = |q: f64| -> Json {
+                        quantile_from_buckets(buckets, *count, q).map_or(Json::Null, Json::F64)
+                    };
                     Json::obj()
                         .field("count", *count)
+                        .field("nan_count", *nan_count)
                         .field("sum", *sum)
+                        .field("p50", quantile(0.50))
+                        .field("p95", quantile(0.95))
+                        .field("p99", quantile(0.99))
                         .field("buckets", Json::Arr(bucket_objs))
                 }
             };
@@ -266,6 +349,7 @@ impl Registry {
                         Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
                         Instrument::Histogram(h) => MetricValue::Histogram {
                             count: h.count(),
+                            nan_count: h.nan_count(),
                             sum: h.sum(),
                             buckets: h.buckets(),
                         },
@@ -367,5 +451,68 @@ mod tests {
         let reg = Registry::new();
         reg.gauge("x");
         reg.counter("x");
+    }
+
+    #[test]
+    fn nan_samples_are_quarantined_not_summed() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[0.1, 1.0]);
+        h.record(0.5);
+        h.record(f64::NAN);
+        h.record(0.5);
+        // Regression: NaN used to land in the overflow bucket and turn
+        // `sum` into NaN forever via the CAS loop.
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nan_count(), 1);
+        assert!(h.sum().is_finite());
+        assert!((h.sum() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            h.buckets().iter().map(|&(_, n)| n).collect::<Vec<_>>(),
+            vec![0, 2, 0],
+            "NaN must not occupy any bucket"
+        );
+        match reg.snapshot().get("lat") {
+            Some(MetricValue::Histogram {
+                count, nan_count, ..
+            }) => {
+                assert_eq!((*count, *nan_count), (2, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 10 samples in (1, 2]: the whole distribution lives in bucket 2.
+        for _ in 0..10 {
+            h.record(1.5);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(
+            (1.0..=2.0).contains(&p50),
+            "p50 {p50} must interpolate inside its bucket"
+        );
+        assert!((p50 - 1.5).abs() < 0.51); // midpoint of [1, 2]
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 <= 2.0 && p99 >= p50);
+
+        // Overflow-bucket mass clamps to the last finite bound.
+        let o = reg.histogram("over", &[1.0]);
+        o.record(100.0);
+        assert_eq!(o.quantile(0.5), Some(1.0));
+
+        // Snapshot JSON carries the pre-computed quantiles.
+        let snap = reg.snapshot();
+        let doc = snap.to_json();
+        let lat = doc.get("lat").unwrap();
+        let json_p50 = lat.get("p50").and_then(Json::as_f64).unwrap();
+        assert!((json_p50 - p50).abs() < 1e-12);
+        assert!(lat.get("p95").and_then(Json::as_f64).is_some());
+        assert!(lat.get("p99").and_then(Json::as_f64).is_some());
+        assert_eq!(lat.get("nan_count").and_then(Json::as_u64), Some(0));
+        assert_eq!(snap.get("lat").unwrap().quantile(0.5), Some(p50));
     }
 }

@@ -1,0 +1,271 @@
+//! The `BENCH_*.json` performance-snapshot schema and the regression
+//! comparison behind the `perf_diff` bin.
+//!
+//! A snapshot is one JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "poisonrec-bench-v1",
+//!   "label": "PR4",
+//!   "metrics": [
+//!     {"name": "step_total_secs_median", "value": 0.0123, "unit": "s"},
+//!     {"name": "op/MatMul/fwd_ns_per_call", "value": 84000.0, "unit": "ns"}
+//!   ]
+//! }
+//! ```
+//!
+//! Every metric is **lower-is-better** wall time (seconds or
+//! nanoseconds); [`diff`] flags a metric as regressed when the
+//! candidate exceeds the baseline by more than the relative threshold
+//! (default [`DEFAULT_THRESHOLD`], i.e. +10%). Metrics present on only
+//! one side are reported but never fail the gate — op tables legitimately
+//! gain and lose rows as instrumentation evolves.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Identifies the snapshot format; bump on breaking changes.
+pub const SCHEMA: &str = "poisonrec-bench-v1";
+
+/// Default relative-increase tolerance for [`diff`]: +10%. Chosen so
+/// same-file self-comparison always passes while the CI +20% synthetic
+/// regression fixture always fails.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// One named lower-is-better measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    pub name: String,
+    pub value: f64,
+    pub unit: String,
+}
+
+/// A parsed `BENCH_*.json` snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct BenchSnapshot {
+    pub label: String,
+    pub metrics: Vec<Metric>,
+}
+
+impl BenchSnapshot {
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends one measurement; non-finite values are refused at the
+    /// source rather than poisoning a later [`diff`].
+    pub fn push(&mut self, name: impl Into<String>, value: f64, unit: impl Into<String>) {
+        assert!(value.is_finite(), "bench metric must be finite");
+        self.metrics.push(Metric {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+        });
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema", SCHEMA)
+            .field("label", self.label.as_str())
+            .field(
+                "metrics",
+                Json::Arr(
+                    self.metrics
+                        .iter()
+                        .map(|m| {
+                            Json::obj()
+                                .field("name", m.name.as_str())
+                                .field("value", m.value)
+                                .field("unit", m.unit.as_str())
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Parses and schema-checks a snapshot document.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unknown bench schema `{other}`")),
+            None => return Err("missing `schema` field".into()),
+        }
+        let label = doc
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let Some(Json::Arr(rows)) = doc.get("metrics") else {
+            return Err("missing `metrics` array".into());
+        };
+        let mut snapshot = Self::new(label);
+        for (i, row) in rows.iter().enumerate() {
+            let name = row
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("metric {i}: missing `name`"))?;
+            let value = row
+                .get("value")
+                .and_then(Json::as_f64)
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| format!("metric {i} (`{name}`): missing finite `value`"))?;
+            let unit = row.get("unit").and_then(Json::as_str).unwrap_or("");
+            snapshot.push(name, value, unit);
+        }
+        Ok(snapshot)
+    }
+}
+
+/// Verdict for one metric name across the two snapshots.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Within threshold (includes improvements).
+    Ok,
+    /// Candidate exceeded baseline by more than the threshold.
+    Regressed,
+    /// Present only in the baseline.
+    BaselineOnly,
+    /// Present only in the candidate.
+    CandidateOnly,
+}
+
+/// One row of a [`diff`] report.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    pub name: String,
+    pub baseline: Option<f64>,
+    pub candidate: Option<f64>,
+    /// `(candidate - baseline) / baseline`; `None` when either side is
+    /// missing or the baseline is zero.
+    pub relative: Option<f64>,
+    pub verdict: Verdict,
+}
+
+/// Compares `candidate` against `baseline` metric-by-metric. A metric
+/// regresses when `candidate > baseline * (1 + threshold)` (with a
+/// zero baseline, when the candidate is positive at all). Rows come
+/// back in baseline order, candidate-only rows appended.
+pub fn diff(baseline: &BenchSnapshot, candidate: &BenchSnapshot, threshold: f64) -> Vec<DiffRow> {
+    let cand: BTreeMap<&str, f64> = candidate
+        .metrics
+        .iter()
+        .map(|m| (m.name.as_str(), m.value))
+        .collect();
+    let base_names: BTreeMap<&str, f64> = baseline
+        .metrics
+        .iter()
+        .map(|m| (m.name.as_str(), m.value))
+        .collect();
+    let mut rows = Vec::new();
+    for metric in &baseline.metrics {
+        let row = match cand.get(metric.name.as_str()) {
+            Some(&now) => {
+                let relative = if metric.value > 0.0 {
+                    Some((now - metric.value) / metric.value)
+                } else {
+                    None
+                };
+                let regressed = if metric.value > 0.0 {
+                    now > metric.value * (1.0 + threshold)
+                } else {
+                    now > 0.0
+                };
+                DiffRow {
+                    name: metric.name.clone(),
+                    baseline: Some(metric.value),
+                    candidate: Some(now),
+                    relative,
+                    verdict: if regressed {
+                        Verdict::Regressed
+                    } else {
+                        Verdict::Ok
+                    },
+                }
+            }
+            None => DiffRow {
+                name: metric.name.clone(),
+                baseline: Some(metric.value),
+                candidate: None,
+                relative: None,
+                verdict: Verdict::BaselineOnly,
+            },
+        };
+        rows.push(row);
+    }
+    for metric in &candidate.metrics {
+        if !base_names.contains_key(metric.name.as_str()) {
+            rows.push(DiffRow {
+                name: metric.name.clone(),
+                baseline: None,
+                candidate: Some(metric.value),
+                relative: None,
+                verdict: Verdict::CandidateOnly,
+            });
+        }
+    }
+    rows
+}
+
+/// Whether any row fails the gate.
+pub fn has_regression(rows: &[DiffRow]) -> bool {
+    rows.iter().any(|r| r.verdict == Verdict::Regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn snap(pairs: &[(&str, f64)]) -> BenchSnapshot {
+        let mut s = BenchSnapshot::new("test");
+        for &(name, value) in pairs {
+            s.push(name, value, "s");
+        }
+        s
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let s = snap(&[("a", 1.0), ("b", 0.5)]);
+        let rows = diff(&s, &s, DEFAULT_THRESHOLD);
+        assert_eq!(rows.len(), 2);
+        assert!(!has_regression(&rows));
+        assert!(rows.iter().all(|r| r.relative == Some(0.0)));
+    }
+
+    #[test]
+    fn twenty_percent_slower_fails_default_gate() {
+        let base = snap(&[("step", 1.0)]);
+        let worse = snap(&[("step", 1.2)]);
+        assert!(has_regression(&diff(&base, &worse, DEFAULT_THRESHOLD)));
+        // ...while a 20% tolerance would (just) let +20% through at 1.2
+        // == 1.0 * 1.2 — strictly-greater comparison, not >=.
+        assert!(!has_regression(&diff(&base, &worse, 0.20)));
+        let faster = snap(&[("step", 0.4)]);
+        assert!(!has_regression(&diff(&base, &faster, DEFAULT_THRESHOLD)));
+    }
+
+    #[test]
+    fn missing_metrics_report_but_do_not_fail() {
+        let base = snap(&[("old", 1.0)]);
+        let cand = snap(&[("new", 1.0)]);
+        let rows = diff(&base, &cand, DEFAULT_THRESHOLD);
+        assert!(!has_regression(&rows));
+        assert_eq!(rows[0].verdict, Verdict::BaselineOnly);
+        assert_eq!(rows[1].verdict, Verdict::CandidateOnly);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = snap(&[("a", 0.125), ("b", 3.0)]);
+        let doc = json::parse(&s.to_json().render()).expect("renders valid JSON");
+        let back = BenchSnapshot::from_json(&doc).expect("parses back");
+        assert_eq!(back.label, "test");
+        assert_eq!(back.metrics, s.metrics);
+        assert!(BenchSnapshot::from_json(&json::parse("{}").unwrap()).is_err());
+    }
+}

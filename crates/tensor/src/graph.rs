@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use crate::matrix::Matrix;
 use crate::params::{GradStore, ParamId, ParamSet};
+use crate::profile::{self, OpKind};
 use crate::sparse::Csr;
 
 /// Handle to a node on the tape.
@@ -73,6 +74,41 @@ enum Op {
     SqSum(Var),
 }
 
+impl Op {
+    /// The profiler aggregation key. Exhaustive on purpose: adding an
+    /// `Op` variant without classifying it is a compile error.
+    fn kind(&self) -> OpKind {
+        match self {
+            Op::Input => OpKind::Input,
+            Op::Param(..) => OpKind::Param,
+            Op::Gather(..) => OpKind::Gather,
+            Op::GatherVar(..) => OpKind::GatherVar,
+            Op::MatMul(..) => OpKind::MatMul,
+            Op::MatMulT(..) => OpKind::MatMulT,
+            Op::Add(..) => OpKind::Add,
+            Op::Sub(..) => OpKind::Sub,
+            Op::Mul(..) => OpKind::Mul,
+            Op::Scale(..) => OpKind::Scale,
+            Op::AddScalar(..) => OpKind::AddScalar,
+            Op::Relu(..) => OpKind::Relu,
+            Op::LeakyRelu(..) => OpKind::LeakyRelu,
+            Op::Sigmoid(..) => OpKind::Sigmoid,
+            Op::Tanh(..) => OpKind::Tanh,
+            Op::Softplus(..) => OpKind::Softplus,
+            Op::ConcatCols(..) => OpKind::ConcatCols,
+            Op::ConcatRows(..) => OpKind::ConcatRows,
+            Op::SumAll(..) => OpKind::SumAll,
+            Op::MeanAll(..) => OpKind::MeanAll,
+            Op::LogSoftmaxRows(..) => OpKind::LogSoftmaxRows,
+            Op::PickPerRow(..) => OpKind::PickPerRow,
+            Op::SpMM(..) => OpKind::SpMM,
+            Op::BceWithLogits { .. } => OpKind::BceWithLogits,
+            Op::MseMasked { .. } => OpKind::MseMasked,
+            Op::SqSum(..) => OpKind::SqSum,
+        }
+    }
+}
+
 struct Node {
     value: Matrix,
     op: Op,
@@ -107,6 +143,13 @@ impl<'p> Graph<'p> {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
+        if profile::enabled() {
+            profile::record_dims(
+                op.kind(),
+                value.len() as u64,
+                self.flop_estimate(&op, &value),
+            );
+        }
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
     }
@@ -115,21 +158,54 @@ impl<'p> Graph<'p> {
         self.nodes[v.0].value.shape()
     }
 
+    /// Order-of-magnitude FLOP count for one forward execution of
+    /// `op`, from the operand shapes. Copies (gathers, concats, picks)
+    /// count zero; transcendental activations count a flat 4 per
+    /// element. Good enough to rank ops and compute achieved-FLOP
+    /// rates in `trace_report` — not a cycle-accurate model.
+    fn flop_estimate(&self, op: &Op, value: &Matrix) -> u64 {
+        let out = value.len() as u64;
+        let in_elems = |v: &Var| {
+            let (r, c) = self.shape(*v);
+            (r * c) as u64
+        };
+        match op {
+            Op::Input | Op::Param(..) | Op::Gather(..) | Op::GatherVar(..) => 0,
+            Op::ConcatCols(..) | Op::ConcatRows(..) | Op::PickPerRow(..) => 0,
+            // m×k · k×n: one multiply + one add per output per k
+            // (for MatMulT the shared dim is also `a`'s cols).
+            Op::MatMul(a, _) | Op::MatMulT(a, _) => 2 * self.shape(*a).1 as u64 * out,
+            Op::Add(..) | Op::Sub(..) | Op::Mul(..) | Op::Scale(..) | Op::AddScalar(..) => out,
+            Op::Relu(..) | Op::LeakyRelu(..) => out,
+            Op::Sigmoid(..) | Op::Tanh(..) | Op::Softplus(..) => 4 * out,
+            Op::SumAll(a) | Op::MeanAll(a) => in_elems(a),
+            Op::SqSum(a) => 2 * in_elems(a),
+            // exp + subtract + max/sum passes per element.
+            Op::LogSoftmaxRows(a) => 5 * in_elems(a),
+            Op::SpMM(sparse, _) => 2 * sparse.nnz() as u64 * value.cols() as u64,
+            Op::BceWithLogits { logits, .. } => 6 * in_elems(logits),
+            Op::MseMasked { pred, .. } => 3 * in_elems(pred),
+        }
+    }
+
     // ---- leaf constructors -------------------------------------------------
 
     /// Registers an external constant.
     pub fn input(&mut self, value: Matrix) -> Var {
+        let _t = profile::fwd(OpKind::Input);
         self.push(value, Op::Input)
     }
 
     /// Brings a whole parameter matrix onto the tape.
     pub fn param(&mut self, id: ParamId) -> Var {
+        let _t = profile::fwd(OpKind::Param);
         let value = self.params.get(id).clone();
         self.push(value, Op::Param(id))
     }
 
     /// Embedding lookup: gathers `indices` rows of parameter `id`.
     pub fn gather(&mut self, id: ParamId, indices: &[u32]) -> Var {
+        let _t = profile::fwd(OpKind::Gather);
         let table = self.params.get(id);
         let cols = table.cols();
         let mut value = Matrix::zeros(indices.len(), cols);
@@ -144,6 +220,7 @@ impl<'p> Graph<'p> {
     /// Gathers `indices` rows of an existing node (e.g. propagated
     /// embeddings in a graph neural network).
     pub fn gather_var(&mut self, src: Var, indices: &[u32]) -> Var {
+        let _t = profile::fwd(OpKind::GatherVar);
         let table = &self.nodes[src.0].value;
         let cols = table.cols();
         let mut value = Matrix::zeros(indices.len(), cols);
@@ -158,18 +235,21 @@ impl<'p> Graph<'p> {
     // ---- arithmetic --------------------------------------------------------
 
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::fwd(OpKind::MatMul);
         let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
         self.push(value, Op::MatMul(a, b))
     }
 
     /// `a * b^T`.
     pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::fwd(OpKind::MatMulT);
         let value = self.nodes[a.0].value.matmul_t(&self.nodes[b.0].value);
         self.push(value, Op::MatMulT(a, b))
     }
 
     /// Same-shape addition, or row-broadcast when `b` is `1 x cols`.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::fwd(OpKind::Add);
         let (ar, ac) = self.shape(a);
         let (br, bc) = self.shape(b);
         let value = if (ar, ac) == (br, bc) {
@@ -194,6 +274,7 @@ impl<'p> Graph<'p> {
     }
 
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::fwd(OpKind::Sub);
         assert_eq!(self.shape(a), self.shape(b), "sub shape mismatch");
         let mut m = self.nodes[a.0].value.clone();
         m.axpy(-1.0, &self.nodes[b.0].value);
@@ -202,6 +283,7 @@ impl<'p> Graph<'p> {
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::fwd(OpKind::Mul);
         assert_eq!(self.shape(a), self.shape(b), "mul shape mismatch");
         let bv = &self.nodes[b.0].value;
         let value = Matrix::from_vec(
@@ -219,11 +301,13 @@ impl<'p> Graph<'p> {
     }
 
     pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let _t = profile::fwd(OpKind::Scale);
         let value = self.nodes[a.0].value.map(|x| x * alpha);
         self.push(value, Op::Scale(a, alpha))
     }
 
     pub fn add_scalar(&mut self, a: Var, beta: f32) -> Var {
+        let _t = profile::fwd(OpKind::AddScalar);
         let value = self.nodes[a.0].value.map(|x| x + beta);
         self.push(value, Op::AddScalar(a))
     }
@@ -231,11 +315,13 @@ impl<'p> Graph<'p> {
     // ---- activations -------------------------------------------------------
 
     pub fn relu(&mut self, a: Var) -> Var {
+        let _t = profile::fwd(OpKind::Relu);
         let value = self.nodes[a.0].value.map(|x| x.max(0.0));
         self.push(value, Op::Relu(a))
     }
 
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let _t = profile::fwd(OpKind::LeakyRelu);
         let value = self.nodes[a.0]
             .value
             .map(|x| if x > 0.0 { x } else { slope * x });
@@ -243,17 +329,20 @@ impl<'p> Graph<'p> {
     }
 
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let _t = profile::fwd(OpKind::Sigmoid);
         let value = self.nodes[a.0].value.map(stable_sigmoid);
         self.push(value, Op::Sigmoid(a))
     }
 
     pub fn tanh(&mut self, a: Var) -> Var {
+        let _t = profile::fwd(OpKind::Tanh);
         let value = self.nodes[a.0].value.map(f32::tanh);
         self.push(value, Op::Tanh(a))
     }
 
     /// Numerically-stable `ln(1 + e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
+        let _t = profile::fwd(OpKind::Softplus);
         let value = self.nodes[a.0].value.map(stable_softplus);
         self.push(value, Op::Softplus(a))
     }
@@ -261,6 +350,7 @@ impl<'p> Graph<'p> {
     // ---- structure ---------------------------------------------------------
 
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::fwd(OpKind::ConcatCols);
         let (ar, ac) = self.shape(a);
         let (br, bc) = self.shape(b);
         assert_eq!(ar, br, "concat_cols row mismatch");
@@ -273,6 +363,7 @@ impl<'p> Graph<'p> {
     }
 
     pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let _t = profile::fwd(OpKind::ConcatRows);
         let (ar, ac) = self.shape(a);
         let (br, bc) = self.shape(b);
         assert_eq!(ac, bc, "concat_rows col mismatch");
@@ -286,12 +377,14 @@ impl<'p> Graph<'p> {
 
     /// `1 x 1` sum of all entries.
     pub fn sum_all(&mut self, a: Var) -> Var {
+        let _t = profile::fwd(OpKind::SumAll);
         let s = self.nodes[a.0].value.sum();
         self.push(Matrix::from_vec(1, 1, vec![s]), Op::SumAll(a))
     }
 
     /// `1 x 1` mean of all entries.
     pub fn mean_all(&mut self, a: Var) -> Var {
+        let _t = profile::fwd(OpKind::MeanAll);
         let v = &self.nodes[a.0].value;
         let s = v.sum() / v.len() as f32;
         self.push(Matrix::from_vec(1, 1, vec![s]), Op::MeanAll(a))
@@ -299,12 +392,14 @@ impl<'p> Graph<'p> {
 
     /// `1 x 1` sum of squared entries.
     pub fn sq_sum(&mut self, a: Var) -> Var {
+        let _t = profile::fwd(OpKind::SqSum);
         let s = self.nodes[a.0].value.sq_norm();
         self.push(Matrix::from_vec(1, 1, vec![s]), Op::SqSum(a))
     }
 
     /// Row-wise log-softmax (stable).
     pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let _t = profile::fwd(OpKind::LogSoftmaxRows);
         let v = &self.nodes[a.0].value;
         let mut out = v.clone();
         for r in 0..out.rows() {
@@ -320,6 +415,7 @@ impl<'p> Graph<'p> {
 
     /// Picks one entry per row: `out[r, 0] = a[r, idx[r]]`.
     pub fn pick_per_row(&mut self, a: Var, indices: &[u32]) -> Var {
+        let _t = profile::fwd(OpKind::PickPerRow);
         let v = &self.nodes[a.0].value;
         assert_eq!(v.rows(), indices.len(), "pick_per_row length mismatch");
         let data = indices
@@ -335,6 +431,7 @@ impl<'p> Graph<'p> {
 
     /// `sparse * dense`; gradient flows only to the dense operand.
     pub fn spmm(&mut self, sparse: Arc<Csr>, dense: Var) -> Var {
+        let _t = profile::fwd(OpKind::SpMM);
         let value = sparse.spmm(&self.nodes[dense.0].value);
         self.push(value, Op::SpMM(sparse, dense))
     }
@@ -342,6 +439,7 @@ impl<'p> Graph<'p> {
     /// Mean binary cross-entropy with logits over entries where
     /// `mask != 0` (mask entries act as weights).
     pub fn bce_with_logits(&mut self, logits: Var, targets: Matrix, mask: Matrix) -> Var {
+        let _t = profile::fwd(OpKind::BceWithLogits);
         let x = &self.nodes[logits.0].value;
         assert_eq!(x.shape(), targets.shape(), "bce target shape");
         assert_eq!(x.shape(), mask.shape(), "bce mask shape");
@@ -367,6 +465,7 @@ impl<'p> Graph<'p> {
 
     /// Mean squared error over entries where `mask != 0`.
     pub fn mse_masked(&mut self, pred: Var, targets: Matrix, mask: Matrix) -> Var {
+        let _t = profile::fwd(OpKind::MseMasked);
         let x = &self.nodes[pred.0].value;
         assert_eq!(x.shape(), targets.shape(), "mse target shape");
         assert_eq!(x.shape(), mask.shape(), "mse mask shape");
@@ -412,6 +511,7 @@ impl<'p> Graph<'p> {
 
         for i in (0..=root.0).rev() {
             let Some(g) = adj[i].take() else { continue };
+            let _t = profile::bwd(self.nodes[i].op.kind());
             match &self.nodes[i].op {
                 Op::Input => {}
                 Op::Param(id) => {

@@ -33,6 +33,7 @@ mod matrix;
 pub mod nn;
 pub mod optim;
 mod params;
+pub mod profile;
 pub mod sparse;
 pub mod util;
 pub mod wire;
@@ -40,4 +41,5 @@ pub mod wire;
 pub use graph::{stable_sigmoid, stable_softplus, Graph, Var};
 pub use matrix::Matrix;
 pub use params::{GradStore, ParamId, ParamSet};
+pub use profile::{OpKind, OpProfile, OpProfileRow};
 pub use sparse::Csr;

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Records a perf-baseline snapshot (BENCH_*.json) from the timing
+# experiment, plus the Chrome trace it was measured under, so future
+# PRs can gate against it with `perf_diff` (DESIGN.md §5d).
+#
+#   scripts/bench_snapshot.sh [OUT.json]
+#
+# OUT defaults to BENCH_PR4.json at the repo root. All workload knobs
+# are env-overridable so CI can run a tiny variant into a temp dir:
+#
+#   BENCH_SCALE=0.02 BENCH_STEPS=1 BENCH_EPISODES=4 BENCH_EVAL_USERS=32 \
+#       scripts/bench_snapshot.sh /tmp/BENCH_tiny.json
+#
+# The seed is fixed so the measured workload (not its wall time) is
+# bit-identical across machines; wall times are compared with a
+# relative threshold by `perf_diff`, never for equality.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+scale="${BENCH_SCALE:-0.05}"
+steps="${BENCH_STEPS:-3}"
+episodes="${BENCH_EPISODES:-8}"
+eval_users="${BENCH_EVAL_USERS:-128}"
+threads="${BENCH_THREADS:-4}"
+seed="${BENCH_SEED:-7}"
+work_dir="$(mktemp -d)"
+trap 'rm -rf "$work_dir"' EXIT
+
+echo "==> cargo build --release (timing + trace tools)"
+cargo build --release -p bench -p telemetry >/dev/null
+
+echo "==> exp_timing (scale=$scale steps=$steps episodes=$episodes seed=$seed)"
+./target/release/exp_timing \
+    --scale "$scale" --steps "$steps" --episodes "$episodes" \
+    --eval-users "$eval_users" --threads "$threads" --seed "$seed" \
+    --out "$work_dir" \
+    --trace "$work_dir/trace.json" \
+    --bench-json "$out"
+
+echo "==> validating the trace behind the snapshot"
+./target/release/validate_jsonl --trace "$work_dir/trace.json"
+./target/release/trace_report "$work_dir/trace.json" >/dev/null
+
+echo "==> perf_diff self-compare (a fresh snapshot must gate itself)"
+./target/release/perf_diff "$out" "$out" >/dev/null
+
+echo "bench snapshot recorded: $out"

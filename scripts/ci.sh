@@ -63,4 +63,30 @@ tail -n +2 "$crash_dir/run2.jsonl" >> "$crash_dir/stitched.jsonl"
 cargo run --release -p telemetry --bin validate_jsonl -- \
     "$crash_dir/stitched.jsonl" --expect-steps 6 --expect-cells 4
 
+echo "==> trace smoke (tiny traced fig4 run + Chrome-trace validation)"
+# The same tiny cell, now with the hierarchical tracer armed. The
+# validator re-parses the Chrome JSON and enforces the trace schema
+# (balanced begin/end per span, monotone timestamps per track, LIFO
+# nesting); trace_report then aggregates it and gates the op table.
+trace_dir="$smoke_dir/trace"
+mkdir -p "$trace_dir"
+cargo run --release -p bench --bin exp_fig4 -- \
+    --scale 0.02 --steps 3 --episodes 4 --attackers 4 --trajectory 5 \
+    --dim 8 --eval-users 16 --rankers itempop \
+    --out "$trace_dir" --trace "$trace_dir/trace.json" >/dev/null
+cargo run --release -p telemetry --bin validate_jsonl -- --trace "$trace_dir/trace.json"
+cargo run --release -p telemetry --bin trace_report -- "$trace_dir/trace.json" >/dev/null
+
+echo "==> perf gate (tiny bench snapshot + perf_diff both ways)"
+# A fresh snapshot must pass against itself, and the committed +20%
+# regression fixture must fail the gate (exit non-zero).
+BENCH_SCALE=0.02 BENCH_STEPS=1 BENCH_EPISODES=4 BENCH_EVAL_USERS=32 BENCH_THREADS=2 \
+    scripts/bench_snapshot.sh "$smoke_dir/BENCH_tiny.json" >/dev/null
+cargo run --release -p telemetry --bin perf_diff -- \
+    "$smoke_dir/BENCH_tiny.json" "$smoke_dir/BENCH_tiny.json" >/dev/null
+if cargo run --release -p telemetry --bin perf_diff -- \
+    tests/golden/bench_baseline.json tests/golden/bench_regressed.json >/dev/null 2>&1; then
+    echo "perf_diff accepted a +20% regression fixture"; exit 1
+fi
+
 echo "CI green."

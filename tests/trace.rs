@@ -1,0 +1,185 @@
+//! The hierarchical tracer end to end (DESIGN.md §5d): a short real
+//! training run with tracing *enabled* must (a) leave the training
+//! results bit-identical across thread counts — the tracer never
+//! touches the RNG path — (b) record the same number of spans whether
+//! the observation engine runs on 1 thread or 8, and (c) export a
+//! Chrome trace document that passes the workspace's own validator
+//! (balanced begin/end per span, monotone timestamps per track, LIFO
+//! nesting).
+
+use std::sync::Mutex;
+
+use poisonrec::{
+    ActionSpaceKind, PoisonRecConfig, PoisonRecTrainer, PolicyConfig, PpoConfig, StepStats,
+};
+use recsys::data::LogView;
+use recsys::rankers::RankerKind;
+use recsys::system::{BlackBoxSystem, SystemConfig};
+use telemetry::trace;
+use telemetry::TraceCollector;
+
+const EPISODES: usize = 8;
+const STEPS: usize = 3;
+
+/// The tracer is process-global state; tests that arm it must not
+/// overlap. (Lock poisoning from an earlier failed test is harmless —
+/// every test resets the tracer first.)
+static TRACE_GATE: Mutex<()> = Mutex::new(());
+
+fn build_system(seed: u64, ranker: RankerKind) -> BlackBoxSystem {
+    let data = datasets::PaperDataset::Phone.generate_scaled(0.03, seed);
+    let boxed = ranker.build(&LogView::clean(&data), 16);
+    BlackBoxSystem::build(
+        data,
+        boxed,
+        SystemConfig {
+            eval_users: 48,
+            reserve_attackers: 16,
+            seed,
+            ..SystemConfig::default()
+        },
+    )
+}
+
+/// Trains `STEPS` steps with tracing armed; returns the history plus
+/// the collected trace snapshot.
+fn train_traced(threads: usize, ranker: RankerKind) -> (Vec<StepStats>, telemetry::TraceSnapshot) {
+    let system = build_system(13, ranker);
+    let cfg = PoisonRecConfig::builder()
+        .seed(13)
+        .threads(threads)
+        .action_space(ActionSpaceKind::BcbtPopular)
+        .policy(PolicyConfig {
+            dim: 8,
+            num_attackers: 6,
+            trajectory_len: 8,
+            init_scale: 0.1,
+        })
+        .ppo(PpoConfig {
+            samples_per_step: EPISODES,
+            batch: EPISODES,
+            epochs: 2,
+            ..PpoConfig::default()
+        })
+        .build_for(&system)
+        .expect("valid config");
+    let mut trainer = PoisonRecTrainer::new(cfg, &system);
+
+    trace::reset();
+    tensor::profile::reset();
+    trace::enable();
+    let history = trainer.train(&system, STEPS).to_vec();
+    trace::disable();
+    (history, TraceCollector::collect())
+}
+
+#[test]
+fn traced_runs_are_bit_identical_and_span_balanced_across_threads() {
+    let _gate = TRACE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+
+    let (h1, snap1) = train_traced(1, RankerKind::ItemPop);
+    let (h8, snap8) = train_traced(8, RankerKind::ItemPop);
+
+    // (a) Tracing on + 8 observation threads must not move a single
+    // bit of the training results relative to 1 thread.
+    assert_eq!(h1.len(), STEPS);
+    assert_eq!(h8.len(), STEPS);
+    for (a, b) in h1.iter().zip(&h8) {
+        assert_eq!(
+            a.mean_reward, b.mean_reward,
+            "step {}: thread count changed mean reward under tracing",
+            a.step
+        );
+        assert_eq!(a.max_reward, b.max_reward);
+        assert_eq!(a.target_click_ratio, b.target_click_ratio);
+    }
+
+    // (b) Same work → same spans, regardless of which thread ran each
+    // job. Only the *placement* across tracks may differ.
+    assert!(snap1.span_count() > 0, "traced run recorded no spans");
+    assert_eq!(
+        snap1.span_count(),
+        snap8.span_count(),
+        "span census differs between 1 and 8 threads"
+    );
+    assert_eq!(snap1.dropped, 0, "ring wrapped during a tiny run");
+    assert_eq!(snap8.dropped, 0);
+    assert_eq!(snap1.unmatched, 0, "unbalanced begin/end on 1 thread");
+    assert_eq!(snap8.unmatched, 0, "unbalanced begin/end on 8 threads");
+
+    // (c) Both exports must satisfy the trace schema the CI validator
+    // enforces: balanced, monotone per track, LIFO-nested.
+    for (threads, snap) in [(1usize, &snap1), (8, &snap8)] {
+        let doc = snap.to_chrome_json(&[]);
+        let stats = trace::validate_chrome(&doc)
+            .unwrap_or_else(|err| panic!("threads={threads}: invalid chrome trace: {err}"));
+        assert_eq!(stats.spans, snap.span_count() as u64);
+
+        // Every trainer phase shows up as a root span, once per step.
+        let (aggs, root_ns) = trace::aggregate_chrome(&doc).expect("aggregate");
+        for phase in ["sample", "score", "update"] {
+            let agg = aggs
+                .iter()
+                .find(|a| a.cat == "trainer" && a.name == phase)
+                .unwrap_or_else(|| panic!("threads={threads}: no trainer/{phase} spans"));
+            assert_eq!(agg.count as usize, STEPS, "trainer/{phase} span count");
+        }
+        // Self times partition the traced wall time exactly.
+        let self_sum: u64 = aggs.iter().map(|a| a.self_ns).sum();
+        assert_eq!(self_sum, root_ns, "threads={threads}: self-time partition");
+    }
+}
+
+#[test]
+fn op_profiler_sees_the_policy_update_and_disabling_stops_both() {
+    let _gate = TRACE_GATE.lock().unwrap_or_else(|e| e.into_inner());
+
+    // BPR: per-episode retrains move the reward, so advantages are
+    // non-zero and PPO's backward pass actually runs. (ItemPop at this
+    // tiny scale yields constant rewards → zero advantages → PPO
+    // legitimately skips backward.)
+    let (_, snap) = train_traced(1, RankerKind::Bpr);
+    assert!(snap.span_count() > 0);
+    let profile = tensor::profile::snapshot();
+    assert!(
+        profile.total_ns() > 0,
+        "PPO updates ran under tracing but the op profiler saw nothing"
+    );
+    let matmul = profile
+        .rows
+        .iter()
+        .find(|r| r.kind == tensor::OpKind::MatMul)
+        .expect("policy forward/backward uses MatMul");
+    assert!(
+        matmul.fwd_calls > 0 && matmul.bwd_calls > 0,
+        "matmul row: {matmul:?}; all rows: {:?}",
+        profile.rows
+    );
+
+    // With the flag off, another run must add nothing to either table.
+    trace::reset();
+    tensor::profile::reset();
+    let system = build_system(13, RankerKind::ItemPop);
+    let cfg = PoisonRecConfig::builder()
+        .seed(13)
+        .threads(1)
+        .action_space(ActionSpaceKind::BcbtPopular)
+        .policy(PolicyConfig {
+            dim: 8,
+            num_attackers: 6,
+            trajectory_len: 8,
+            init_scale: 0.1,
+        })
+        .ppo(PpoConfig {
+            samples_per_step: EPISODES,
+            batch: EPISODES,
+            epochs: 2,
+            ..PpoConfig::default()
+        })
+        .build_for(&system)
+        .expect("valid config");
+    let mut trainer = PoisonRecTrainer::new(cfg, &system);
+    trainer.train(&system, 1);
+    assert_eq!(TraceCollector::collect().span_count(), 0);
+    assert_eq!(tensor::profile::snapshot().total_ns(), 0);
+}
