@@ -1,0 +1,299 @@
+//! E-serve — the over-the-wire attack path and serving performance.
+//!
+//! Three phases against an in-process [`serve::Server`] bound to an
+//! OS-assigned port on 127.0.0.1 (all traffic crosses a real socket):
+//!
+//! 1. **Attack replay** — one fig-4 cell (Steam × first ranker ×
+//!    BCBT-Popular) trained twice with identical seeds: once against
+//!    the in-process [`BlackBoxSystem`], once through
+//!    [`recsys::RemoteSystem`] against the served copy. The two reward
+//!    histories must be **bit-identical** — the server consumes the
+//!    same observation seed stream and serves through the same
+//!    snapshot read path.
+//! 2. **Load grid** — client-threads × k sweep of `GET /recommend`,
+//!    recording p50/p95/p99 seconds-per-request (lower-is-better, per
+//!    the `poisonrec-bench-v1` convention). Any non-200 fails the run.
+//! 3. **Retrain under load** — read latency p99 measured idle, then
+//!    again while a feedback→retrain loop churns generations. The
+//!    snapshot swap is wait-free for readers, so serving must not
+//!    stall; both numbers land in the snapshot for the perf gate.
+//!
+//! Environment knobs (`ExpArgs` covers the attack cell; the grid is
+//! env-tuned so `scripts/ci.sh` can shrink it):
+//! `SERVE_THREADS_GRID` (default `1,2,4`), `SERVE_K_GRID` (default
+//! `1,5,10`), `SERVE_REQUESTS` per cell (default `200`),
+//! `SERVE_ACCESS_LOG` (default `<out>/serve_access.jsonl`).
+//!
+//! With `--bench-json FILE`, writes a `poisonrec-bench-v1` snapshot;
+//! `--bench-base FILE` seeds it with a prior snapshot's metrics so the
+//! chained `scripts/bench_snapshot.sh` produces one cumulative file.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bench::ExpArgs;
+use datasets::PaperDataset;
+use poisonrec::{ActionSpaceKind, PoisonRecTrainer};
+use recsys::remote::{HttpClient, RemoteSystem};
+use serve::{RecApp, Server, ServerConfig};
+use telemetry::json::Json;
+use telemetry::perf::BenchSnapshot;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_grid(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(raw) => raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} entry {s:?} is not a number"))
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Sorted-latency percentile (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+struct LoadCell {
+    threads: usize,
+    k: usize,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+/// Hammers `GET /recommend` from `threads` persistent connections,
+/// `requests` total; returns sorted per-request latencies. Panics on
+/// any non-200 — the load test's correctness half.
+fn run_load(addr: &str, threads: usize, k: usize, requests: usize, num_users: u32) -> Vec<f64> {
+    let non_200 = AtomicU64::new(0);
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let non_200 = &non_200;
+                scope.spawn(move || {
+                    let mut client = HttpClient::new(addr.to_string());
+                    let per_thread = requests / threads + usize::from(requests % threads > t);
+                    let mut out = Vec::with_capacity(per_thread);
+                    for i in 0..per_thread {
+                        let user = ((t * 7919 + i) as u32) % num_users;
+                        let start = Instant::now();
+                        let (status, _) = client
+                            .request("GET", &format!("/recommend/{user}?k={k}"), None)
+                            .expect("load request failed");
+                        out.push(start.elapsed().as_secs_f64());
+                        if status != 200 {
+                            non_200.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    assert_eq!(
+        non_200.load(Ordering::Relaxed),
+        0,
+        "load test saw non-200 responses"
+    );
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    latencies
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ranker = args.ranker_list()[0];
+    let dataset = PaperDataset::Steam;
+    let design = ActionSpaceKind::BcbtPopular;
+
+    let threads_grid = env_grid("SERVE_THREADS_GRID", &[1, 2, 4]);
+    let k_grid = env_grid("SERVE_K_GRID", &[1, 5, 10]);
+    let requests = env_usize("SERVE_REQUESTS", 200);
+    let access_log = std::env::var("SERVE_ACCESS_LOG")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| args.out_dir.join("serve_access.jsonl"));
+
+    // ---- Phase 1: in-process reference run ------------------------------
+    println!(
+        "phase 1: attack replay — {} × {} × {}, {} step(s) × {} episode(s)",
+        dataset.name(),
+        ranker.name(),
+        design.name(),
+        args.steps,
+        args.episodes
+    );
+    let reference = args.build_system(dataset, ranker);
+    let local_trainer = args.train_poisonrec(&reference, design, 11);
+    let local_history: Vec<(f32, f32)> = local_trainer
+        .history()
+        .iter()
+        .map(|s| (s.mean_reward, s.max_reward))
+        .collect();
+
+    // ---- Serve an identical system and attack it over the wire ---------
+    let served_system = args.build_system(dataset, ranker);
+    let num_users = served_system.base().num_users();
+    // Server pool sized for the widest load cell plus the attack/retrain
+    // connection: keep-alive connections pin a worker each.
+    let server_threads = threads_grid.iter().copied().max().unwrap_or(1) + 2;
+    let server = Server::start(
+        RecApp::new(served_system, None),
+        ServerConfig {
+            port: 0,
+            threads: server_threads,
+            access_log: Some(access_log.clone()),
+            fault_plan: None,
+            limits: serve::Limits::default(),
+        },
+    )
+    .expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+    println!(
+        "serving on {addr} ({server_threads} worker(s)) — access log: {}",
+        access_log.display()
+    );
+
+    let remote = RemoteSystem::connect(addr.clone()).expect("connect to served system");
+    let cfg = args.poisonrec_config(design, 11);
+    let mut remote_trainer = PoisonRecTrainer::new(cfg, &remote);
+    remote_trainer.train(&remote, args.steps);
+    let remote_history: Vec<(f32, f32)> = remote_trainer
+        .history()
+        .iter()
+        .map(|s| (s.mean_reward, s.max_reward))
+        .collect();
+
+    assert_eq!(
+        local_history, remote_history,
+        "over-the-wire attack diverged from the in-process run"
+    );
+    println!(
+        "phase 1 OK: {} step(s) bit-identical over the socket (final mean RecNum {:.1})",
+        local_history.len(),
+        local_history.last().map(|&(m, _)| m).unwrap_or(0.0)
+    );
+
+    // ---- Phase 2: load grid --------------------------------------------
+    println!(
+        "phase 2: load grid — threads {threads_grid:?} × k {k_grid:?} × {requests} request(s)"
+    );
+    let mut cells: Vec<LoadCell> = Vec::new();
+    for &threads in &threads_grid {
+        for &k in &k_grid {
+            let sorted = run_load(&addr, threads, k, requests, num_users);
+            let cell = LoadCell {
+                threads,
+                k,
+                p50: percentile(&sorted, 0.50),
+                p95: percentile(&sorted, 0.95),
+                p99: percentile(&sorted, 0.99),
+            };
+            println!(
+                "  t={} k={:>3}: p50 {:.6}s  p95 {:.6}s  p99 {:.6}s",
+                cell.threads, cell.k, cell.p50, cell.p95, cell.p99
+            );
+            cells.push(cell);
+        }
+    }
+
+    // ---- Phase 3: retrain under load -----------------------------------
+    println!("phase 3: read p99 idle vs during retrain churn");
+    let probe_threads = 2.min(threads_grid.iter().copied().max().unwrap_or(1));
+    let idle = run_load(&addr, probe_threads, 10, requests, num_users);
+    let idle_p99 = percentile(&idle, 0.99);
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (under_p99, retrains) = std::thread::scope(|scope| {
+        let stop_ref = &stop;
+        let addr_ref = addr.as_str();
+        let churn = scope.spawn(move || {
+            let mut client = HttpClient::new(addr_ref.to_string());
+            let feedback = Json::obj().field(
+                "trajectories",
+                Json::Arr(vec![Json::Arr(vec![
+                    Json::from(1u32),
+                    Json::from(2u32),
+                    Json::from(3u32),
+                ])]),
+            );
+            let mut retrains = 0u64;
+            while !stop_ref.load(Ordering::Relaxed) {
+                let (status, _) = client
+                    .request("POST", "/feedback", Some(&feedback))
+                    .expect("churn feedback");
+                assert_eq!(status, 200, "churn feedback rejected");
+                let (status, _) = client
+                    .request("POST", "/retrain", None)
+                    .expect("churn retrain");
+                assert_eq!(status, 200, "churn retrain rejected");
+                retrains += 1;
+            }
+            retrains
+        });
+        let under = run_load(&addr, probe_threads, 10, requests, num_users);
+        stop.store(true, Ordering::Relaxed);
+        let retrains = churn.join().expect("churn thread");
+        (percentile(&under, 0.99), retrains)
+    });
+    println!("  idle p99 {idle_p99:.6}s — during {retrains} retrain(s) p99 {under_p99:.6}s");
+
+    // ---- Shutdown ledger ------------------------------------------------
+    let final_generation = server.generation();
+    let stats = server.shutdown();
+    println!(
+        "shutdown: accepted {} / completed {} / dropped {} (generation {final_generation})",
+        stats.accepted,
+        stats.completed,
+        stats.dropped()
+    );
+    assert_eq!(stats.dropped(), 0, "graceful shutdown dropped requests");
+
+    // ---- Bench snapshot -------------------------------------------------
+    if let Some(path) = &args.bench_json {
+        let mut snapshot = match &args.bench_base {
+            Some(base) => {
+                let text = std::fs::read_to_string(base)
+                    .unwrap_or_else(|err| panic!("cannot read {}: {err}", base.display()));
+                let doc = telemetry::json::parse(&text)
+                    .unwrap_or_else(|err| panic!("{}: {err}", base.display()));
+                BenchSnapshot::from_json(&doc)
+                    .unwrap_or_else(|err| panic!("{}: {err}", base.display()))
+            }
+            None => BenchSnapshot::new("serve"),
+        };
+        for cell in &cells {
+            let prefix = format!("serve/t{}/k{}", cell.threads, cell.k);
+            snapshot.push(format!("{prefix}/p50_secs"), cell.p50, "s");
+            snapshot.push(format!("{prefix}/p95_secs"), cell.p95, "s");
+            snapshot.push(format!("{prefix}/p99_secs"), cell.p99, "s");
+        }
+        snapshot.push("serve/retrain_idle_read_p99_secs", idle_p99, "s");
+        snapshot.push("serve/retrain_churn_read_p99_secs", under_p99, "s");
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("bench output dir");
+            }
+        }
+        std::fs::write(path, snapshot.to_json().render())
+            .unwrap_or_else(|err| panic!("cannot write {}: {err}", path.display()));
+        println!("bench snapshot -> {}", path.display());
+    }
+}

@@ -18,7 +18,7 @@ use poisonrec::{
     ActionSpaceKind, PoisonRecConfig, PoisonRecTrainer, PolicyConfig, PpoConfig, StepLogger,
 };
 use recsys::rankers::RankerKind;
-use recsys::system::{BlackBoxSystem, SystemConfig};
+use recsys::system::{BlackBoxSystem, ObservableSystem, SystemConfig};
 use telemetry::{Json, JsonlSink};
 
 /// Shared command-line arguments for all experiment binaries.
@@ -68,6 +68,9 @@ pub struct ExpArgs {
     /// When set, write a `BENCH_*`-schema perf snapshot here (compare
     /// with `perf_diff`). Which metrics land in it is up to the binary.
     pub bench_json: Option<PathBuf>,
+    /// When set, seed the `--bench-json` snapshot with the metrics of
+    /// this prior snapshot (so chained binaries accumulate one file).
+    pub bench_base: Option<PathBuf>,
 }
 
 impl Default for ExpArgs {
@@ -94,6 +97,7 @@ impl Default for ExpArgs {
             fault_kill_step: None,
             trace: None,
             bench_json: None,
+            bench_base: None,
         }
     }
 }
@@ -141,6 +145,7 @@ impl ExpArgs {
                 }
                 "--trace" => args.trace = Some(PathBuf::from(take("--trace"))),
                 "--bench-json" => args.bench_json = Some(PathBuf::from(take("--bench-json"))),
+                "--bench-base" => args.bench_base = Some(PathBuf::from(take("--bench-base"))),
                 "--rankers" => {
                     args.rankers = take("--rankers")
                         .split(',')
@@ -177,7 +182,8 @@ impl ExpArgs {
                          --dim E --eval-users U --seed S --out DIR --threads K \
                          --telemetry FILE.jsonl --rankers A,B --datasets X,Y --paper \
                          --checkpoint-every N --checkpoint-dir DIR --resume DIR \
-                         --fault-kill-step N --trace FILE.json --bench-json FILE.json"
+                         --fault-kill-step N --trace FILE.json --bench-json FILE.json \
+                         --bench-base FILE.json"
                     );
                     std::process::exit(0);
                 }
@@ -250,7 +256,7 @@ impl ExpArgs {
     /// best episode, policy) for the caller to mine.
     pub fn train_poisonrec(
         &self,
-        system: &BlackBoxSystem,
+        system: &dyn ObservableSystem,
         space: ActionSpaceKind,
         seed_offset: u64,
     ) -> PoisonRecTrainer {
@@ -269,7 +275,7 @@ impl ExpArgs {
     /// directory as the run progresses.
     pub fn train_poisonrec_logged(
         &self,
-        system: &BlackBoxSystem,
+        system: &dyn ObservableSystem,
         space: ActionSpaceKind,
         seed_offset: u64,
         sink: Option<&Arc<JsonlSink>>,
@@ -330,7 +336,7 @@ impl ExpArgs {
     pub fn build_or_resume_trainer(
         &self,
         cfg: PoisonRecConfig,
-        system: &BlackBoxSystem,
+        system: &dyn ObservableSystem,
         slug: &str,
     ) -> PoisonRecTrainer {
         match self.resume_path(slug) {
@@ -350,7 +356,7 @@ impl ExpArgs {
     pub fn drive_trainer(
         &self,
         trainer: &mut PoisonRecTrainer,
-        system: &BlackBoxSystem,
+        system: &dyn ObservableSystem,
         slug: &str,
         steps: usize,
     ) {

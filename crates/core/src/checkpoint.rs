@@ -52,7 +52,7 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::Path;
 
-use recsys::system::BlackBoxSystem;
+use recsys::system::ObservableSystem;
 use tensor::optim::Adam;
 use tensor::wire::{Codec, Reader, WireError, Writer};
 use tensor::ParamSet;
@@ -199,7 +199,7 @@ pub fn unseal(bytes: &[u8]) -> Result<(u64, &[u8]), CheckpointError> {
 /// invariant), the target system's [`recsys::system::SystemConfig`],
 /// and the public item/target geometry. Two runs with equal
 /// fingerprints and equal step counts produce bit-identical histories.
-pub fn config_fingerprint(cfg: &PoisonRecConfig, system: &BlackBoxSystem) -> u64 {
+pub fn config_fingerprint(cfg: &PoisonRecConfig, system: &dyn ObservableSystem) -> u64 {
     let mut w = Writer::new();
     w.put_u64(cfg.policy.dim as u64);
     w.put_u64(cfg.policy.num_attackers as u64);

@@ -11,7 +11,7 @@
 //! phase draws all `M` episodes sequentially — it owns the trainer's
 //! RNG, and keeping it single-threaded keeps the policy's sampling
 //! stream independent of thread count. The *scoring* phase hands the
-//! sampled trajectory sets to [`BlackBoxSystem::observe_batch`], which
+//! sampled trajectory sets to [`ObservableSystem::observe_batch`], which
 //! retrains up to [`PoisonRecConfig::threads`] system clones in
 //! parallel. Observation seeds are fixed before dispatch, so a step's
 //! rewards — and therefore the whole training run — are bit-identical
@@ -23,7 +23,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use recsys::system::{BlackBoxSystem, ConfigError};
+use recsys::system::{ConfigError, ObservableSystem};
 use recsys::Trajectory;
 use telemetry::{Json, JsonlSink, Stopwatch};
 use tensor::wire::Codec;
@@ -134,7 +134,7 @@ impl PoisonRecConfigBuilder {
     /// system: the policy must not sample more fake accounts than the
     /// system reserves, or every injection would be rejected at
     /// observation time.
-    pub fn build_for(self, system: &BlackBoxSystem) -> Result<PoisonRecConfig, ConfigError> {
+    pub fn build_for(self, system: &dyn ObservableSystem) -> Result<PoisonRecConfig, ConfigError> {
         let reserve = system.config().reserve_attackers as usize;
         let cfg = self.build()?;
         if cfg.policy.num_attackers > reserve {
@@ -251,7 +251,7 @@ pub struct PoisonRecTrainer {
 impl PoisonRecTrainer {
     /// Builds the agent against a system, using only the system's
     /// *public* information (item counts and crawled popularity).
-    pub fn new(cfg: PoisonRecConfig, system: &BlackBoxSystem) -> Self {
+    pub fn new(cfg: PoisonRecConfig, system: &dyn ObservableSystem) -> Self {
         let info = system.public_info();
         let space = ActionSpace::build(
             cfg.action_space,
@@ -305,7 +305,7 @@ impl PoisonRecTrainer {
 
     /// One Algorithm 1 iteration. Costs `M` system retrains, fanned
     /// out over up to [`PoisonRecConfig::threads`] threads.
-    pub fn step(&mut self, system: &BlackBoxSystem) -> StepStats {
+    pub fn step(&mut self, system: &dyn ObservableSystem) -> StepStats {
         let m = self.cfg.ppo.samples_per_step;
 
         // Sample phase (sequential): the only consumer of the trainer
@@ -405,7 +405,7 @@ impl PoisonRecTrainer {
     }
 
     /// Runs `steps` iterations; returns the accumulated history.
-    pub fn train(&mut self, system: &BlackBoxSystem, steps: usize) -> &[StepStats] {
+    pub fn train(&mut self, system: &dyn ObservableSystem, steps: usize) -> &[StepStats] {
         for _ in 0..steps {
             self.step(system);
         }
@@ -429,7 +429,7 @@ impl PoisonRecTrainer {
     /// dataset and [`recsys::system::SystemConfig`].
     pub fn save_checkpoint(
         &self,
-        system: &BlackBoxSystem,
+        system: &dyn ObservableSystem,
         path: impl AsRef<Path>,
     ) -> Result<u64, CheckpointError> {
         let path = path.as_ref();
@@ -466,7 +466,7 @@ impl PoisonRecTrainer {
     pub fn resume(
         path: impl AsRef<Path>,
         cfg: PoisonRecConfig,
-        system: &BlackBoxSystem,
+        system: &dyn ObservableSystem,
     ) -> Result<Self, CheckpointError> {
         let bytes = std::fs::read(path.as_ref())?;
         let (saved, body) = checkpoint::unseal(&bytes)?;
@@ -486,7 +486,7 @@ impl PoisonRecTrainer {
     fn restore(
         &mut self,
         state: TrainerState,
-        system: &BlackBoxSystem,
+        system: &dyn ObservableSystem,
     ) -> Result<(), CheckpointError> {
         let malformed = |msg: String| Err(CheckpointError::Format(msg));
         let expected = self.policy.params();
@@ -558,7 +558,7 @@ mod tests {
     use super::*;
     use recsys::data::Dataset;
     use recsys::rankers::ItemPop;
-    use recsys::system::SystemConfig;
+    use recsys::system::{BlackBoxSystem, SystemConfig};
 
     fn tiny_system() -> BlackBoxSystem {
         let histories = (0..40u32)

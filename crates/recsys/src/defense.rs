@@ -19,7 +19,11 @@
 use crate::data::{Dataset, ItemId, Trajectory};
 
 /// A per-user anomaly score; higher = more suspicious.
-pub trait FakeUserDetector {
+///
+/// `Send + Sync` so a detector can live inside long-lived shared state
+/// (the serving layer keeps one in an [`OnlineFilter`] consulted by
+/// concurrent feedback handlers).
+pub trait FakeUserDetector: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Scores one click sequence given the clean dataset's context.
@@ -154,6 +158,55 @@ pub fn filter_poison(
     }
 }
 
+/// A detector frozen for online use: the threshold is calibrated
+/// *once* against the organic users, then [`OnlineFilter::admits`]
+/// judges each incoming trajectory in isolation.
+///
+/// This fixes the original defense integration gap: [`filter_poison`]
+/// only ran at retrain time, over the complete injected set, so a
+/// served system accepted every `POST /feedback` and discovered fake
+/// accounts only later. Hooked into the feedback endpoint, the same
+/// detectors reject flagged trajectories at ingestion — and because
+/// calibration is precomputed, the per-request cost is one `score`
+/// call, not a full pass over the organic population.
+pub struct OnlineFilter {
+    detector: Box<dyn FakeUserDetector>,
+    threshold: f64,
+    fpr: f64,
+}
+
+impl OnlineFilter {
+    /// Calibrates `detector` on the organic users of `base` so that at
+    /// most `fpr` of them would be rejected, and freezes the decision
+    /// boundary.
+    pub fn calibrate(detector: Box<dyn FakeUserDetector>, base: &Dataset, fpr: f64) -> Self {
+        let threshold = detector.threshold(base, fpr);
+        Self {
+            detector,
+            threshold,
+            fpr,
+        }
+    }
+
+    pub fn detector_name(&self) -> &'static str {
+        self.detector.name()
+    }
+
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    pub fn fpr(&self) -> f64 {
+        self.fpr
+    }
+
+    /// Whether `sequence` passes the frozen decision boundary. Same
+    /// predicate as [`filter_poison`] with the calibration amortized.
+    pub fn admits(&self, base: &Dataset, sequence: &[ItemId]) -> bool {
+        self.detector.score(base, sequence) <= self.threshold
+    }
+}
+
 /// Convenience: a defended observation = filter, then the usual
 /// poison-and-measure path.
 pub fn defended_rec_num(
@@ -230,6 +283,27 @@ mod tests {
             flagged_organic as f64 <= 0.12 * f64::from(d.num_users()),
             "{flagged_organic} organic users flagged"
         );
+    }
+
+    #[test]
+    fn online_filter_agrees_with_batch_filter() {
+        let d = organic_like();
+        let poison: Vec<Trajectory> = vec![
+            vec![200; 8],           // blatant burst
+            d.sequence(3).to_vec(), // mimics an organic user
+            vec![201; 6],           // another burst
+        ];
+        let report = filter_poison(&RepetitionDetector, &d, &poison, 0.05);
+        let online = OnlineFilter::calibrate(Box::new(RepetitionDetector), &d, 0.05);
+        assert_eq!(online.detector_name(), "repetition");
+        assert_eq!(online.threshold(), report.threshold);
+        for (i, traj) in poison.iter().enumerate() {
+            assert_eq!(
+                online.admits(&d, traj),
+                !report.flagged.contains(&i),
+                "trajectory {i} judged differently online vs batch"
+            );
+        }
     }
 
     #[test]

@@ -97,9 +97,28 @@ impl EvalProtocol {
 
     /// One recommendation list `L_u` for `user`.
     pub fn recommend(&self, ranker: &dyn Ranker, base: &Dataset, user: UserId) -> Vec<ItemId> {
+        self.recommend_k(ranker, base, user, self.top_k)
+    }
+
+    /// [`EvalProtocol::recommend`] with an explicit list length `k`
+    /// (the serving path lets clients ask for any `k`). The candidate
+    /// set is the protocol's usual one; only the truncation differs.
+    /// With distinct scores the result for `k <= top_k` equals the
+    /// first `k` entries of [`EvalProtocol::recommend`]; exact score
+    /// ties may select differently (selection among equals is
+    /// arbitrary, though deterministic), which is why the serving
+    /// cache answers small `k` by slicing its stored `top_k` list
+    /// rather than recomputing (DESIGN.md §5e).
+    pub fn recommend_k(
+        &self,
+        ranker: &dyn Ranker,
+        base: &Dataset,
+        user: UserId,
+        k: usize,
+    ) -> Vec<ItemId> {
         let candidates = self.candidates(base, user);
         let scores = ranker.score(user, base.sequence(user), &candidates);
-        top_k_items(&candidates, &scores, self.top_k)
+        top_k_items(&candidates, &scores, k)
     }
 
     /// `RecNum = Σ_u |L_u ∩ I_t|` over the protocol's users.

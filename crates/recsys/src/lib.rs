@@ -14,7 +14,13 @@
 //! * [`system`] — [`system::BlackBoxSystem`], the attack surface:
 //!   inject fake trajectories, observe RecNum, learn nothing else.
 //! * [`defense`] — extension: fake-account detectors (popularity
-//!   deviation, repetition) and the defended observation path.
+//!   deviation, repetition), the defended observation path, and the
+//!   serving layer's calibrated [`defense::OnlineFilter`].
+//! * [`snapshot`] — [`snapshot::RankerSnapshot`], the generation-tagged
+//!   immutable read path a served retrain publishes (DESIGN.md §5e).
+//! * [`remote`] — [`remote::RemoteSystem`], the same
+//!   [`system::ObservableSystem`] observation API spoken over a socket
+//!   to a `serve` instance: the attack literally goes over the wire.
 //!
 //! ```no_run
 //! use recsys::data::Dataset;
@@ -38,10 +44,15 @@ pub mod data;
 pub mod defense;
 pub mod eval;
 pub mod rankers;
+pub mod remote;
+pub mod snapshot;
 pub mod system;
 
 pub use data::{Dataset, ItemId, LogView, Trajectory, UserId};
 pub use rankers::{Ranker, RankerKind, UnknownRanker};
+pub use remote::{RemoteError, RemoteSystem};
+pub use snapshot::RankerSnapshot;
 pub use system::{
-    BlackBoxSystem, ConfigError, Observation, PublicInfo, SystemConfig, SystemConfigBuilder,
+    BlackBoxSystem, ConfigError, ObservableSystem, Observation, PublicInfo, SystemConfig,
+    SystemConfigBuilder,
 };

@@ -33,6 +33,43 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::data::{Dataset, ItemId, LogView, Trajectory, UserId};
 use crate::eval::EvalProtocol;
 use crate::rankers::{common::child_seed, Ranker};
+use crate::snapshot::RankerSnapshot;
+
+/// The observation interface the attack consumes, abstracted over
+/// *where the system lives*: [`BlackBoxSystem`] implements it
+/// in-process, `crate::remote::RemoteSystem` implements it over a
+/// socket against a served instance. `PoisonRecTrainer` (and the
+/// checkpoint fingerprint) depend only on this trait, so the same
+/// attack drives both bit-identically — the served system draws from
+/// the same `seed_for_ordinal` stream as the in-process one.
+///
+/// Dyn-compatible on purpose: trainers hold `&dyn ObservableSystem`.
+pub trait ObservableSystem: Send + Sync {
+    /// The harness configuration (experimenter-side knowledge; the
+    /// trainer reads only `reserve_attackers` for validation).
+    fn config(&self) -> &SystemConfig;
+
+    /// Crawlable item metadata (threat-model §III-A2).
+    fn public_info(&self) -> PublicInfo;
+
+    /// Name of the deployed ranker (fingerprinted into checkpoints so
+    /// a resume against a different testbed is refused).
+    fn ranker_name(&self) -> &str;
+
+    /// Observations consumed from the system's seed stream so far.
+    fn observations_spent(&self) -> u64;
+
+    /// Fast-forwards the observation seed stream for checkpoint
+    /// resume; rewinding is refused. See
+    /// [`BlackBoxSystem::restore_observations_spent`].
+    fn restore_observations_spent(&self, spent: u64) -> Result<(), ConfigError>;
+
+    /// Observes every poison in `batch`, consuming one seed-stream
+    /// ordinal per slot *in slot order* — slot `i` behaves exactly
+    /// like the `i`-th of sequential single observations, whatever
+    /// `threads` is.
+    fn observe_batch(&self, batch: &[&[Trajectory]], threads: usize) -> Vec<Observation>;
+}
 
 /// A configuration value failed validation at construction time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -303,6 +340,30 @@ impl BlackBoxSystem {
         let _observe_span = telemetry::Span::enter("system_observe_seconds");
         let _observe_trace = telemetry::trace::span("observe", "system");
         telemetry::metrics::counter("system_observations_total").inc();
+        // Observation generation numbers are never published, so tag 0.
+        let snapshot = self.fine_tuned_snapshot(poison, seed, 0);
+        let rec_num = snapshot.rec_num(&self.protocol, &self.base);
+        let recommendations =
+            with_lists.then(|| snapshot.recommendations(&self.protocol, &self.base));
+        Observation {
+            rec_num,
+            seed,
+            recommendations,
+        }
+    }
+
+    /// The retrain everything reduces to: clone the frozen clean
+    /// ranker, warm-update it with the poisoned log, and freeze the
+    /// result as a [`RankerSnapshot`]. Both the observation path above
+    /// and the serving layer's `POST /retrain` build their models
+    /// here, which is what makes an attack over the wire bit-identical
+    /// to the in-process run.
+    fn fine_tuned_snapshot(
+        &self,
+        poison: &[Trajectory],
+        seed: u64,
+        generation: u64,
+    ) -> RankerSnapshot {
         let mut ranker = self.clean.boxed_clone();
         let view = LogView::new(&self.base, poison);
         let retrain = telemetry::Stopwatch::start();
@@ -311,19 +372,29 @@ impl BlackBoxSystem {
         drop(retrain_trace);
         telemetry::metrics::histogram("system_retrain_seconds", &telemetry::TIME_BUCKETS)
             .record(retrain.elapsed_secs());
-        let rec_num = self.protocol.rec_num(&*ranker, &self.base);
-        let recommendations = with_lists.then(|| {
-            self.protocol
-                .eval_users()
-                .iter()
-                .map(|&u| (u, self.protocol.recommend(&*ranker, &self.base, u)))
-                .collect()
-        });
-        Observation {
-            rec_num,
-            seed,
-            recommendations,
-        }
+        RankerSnapshot::new(ranker, generation, seed, self.base.num_users())
+    }
+
+    /// The clean system as a generation-0 [`RankerSnapshot`] — what a
+    /// freshly started server publishes before any `POST /retrain`.
+    /// Does not consume the observation seed stream.
+    pub fn clean_snapshot(&self) -> RankerSnapshot {
+        RankerSnapshot::new(self.clean.boxed_clone(), 0, 0, self.base.num_users())
+    }
+
+    /// One retrain off the system's own seed stream, returned as a
+    /// publishable snapshot instead of a scalar observation: consumes
+    /// exactly one seed ordinal (like [`BlackBoxSystem::observe`]) and
+    /// tags the snapshot with generation `ordinal + 1`, so generation
+    /// `g` is always the model produced by the `g`-th observation of
+    /// the system's lifetime. The serving layer builds snapshots here
+    /// and publishes them with an atomic swap; readers of the previous
+    /// generation are never blocked.
+    pub fn retrain_snapshot(&self, poison: &[Trajectory]) -> RankerSnapshot {
+        self.check_budget(poison);
+        let ordinal = self.observation.fetch_add(1, Ordering::Relaxed);
+        let seed = self.seed_for_ordinal(ordinal);
+        self.fine_tuned_snapshot(poison, seed, ordinal + 1)
     }
 
     /// One observation under the system's own seed stream. Each call
@@ -419,6 +490,35 @@ impl BlackBoxSystem {
         self.observe_recommendations(poison, seed)
             .recommendations
             .expect("lists were requested")
+    }
+}
+
+impl ObservableSystem for BlackBoxSystem {
+    fn config(&self) -> &SystemConfig {
+        self.config()
+    }
+
+    fn public_info(&self) -> PublicInfo {
+        self.public_info()
+    }
+
+    fn ranker_name(&self) -> &str {
+        self.ranker_name()
+    }
+
+    fn observations_spent(&self) -> u64 {
+        self.observations_spent()
+    }
+
+    fn restore_observations_spent(&self, spent: u64) -> Result<(), ConfigError> {
+        self.restore_observations_spent(spent)
+    }
+
+    fn observe_batch(&self, batch: &[&[Trajectory]], threads: usize) -> Vec<Observation> {
+        // Delegates to the inherent generic (which fans out over the
+        // worker pool); inherent methods win resolution on the
+        // concrete type, so this is not a recursive call.
+        BlackBoxSystem::observe_batch(self, batch, threads)
     }
 }
 
@@ -537,6 +637,57 @@ mod tests {
         // Rewinding is refused with a descriptive error.
         let err = resumed.restore_observations_spent(1).expect_err("rewind");
         assert_eq!(err.field, "observations_spent");
+    }
+
+    #[test]
+    fn retrain_snapshot_shares_the_observation_seed_stream() {
+        // A served retrain must be indistinguishable from an observe:
+        // same counter, same seed schedule, same RecNum.
+        let cfg = small_cfg();
+        let observing = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), cfg.clone());
+        let serving = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), cfg.clone());
+        let target = observing.public_info().target_items[0];
+        for i in 1..=3u64 {
+            let poison: Vec<Trajectory> = vec![vec![target; 4 + i as usize]; 2];
+            let observed = observing.observe(&poison);
+            let snap = serving.retrain_snapshot(&poison);
+            assert_eq!(snap.seed(), observed.seed);
+            assert_eq!(snap.generation(), i);
+            assert_eq!(
+                snap.rec_num(serving.protocol(), serving.base()),
+                observed.rec_num
+            );
+        }
+        assert_eq!(serving.observations_spent(), 3);
+    }
+
+    #[test]
+    fn clean_snapshot_matches_clean_rec_num() {
+        let sys = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), small_cfg());
+        let snap = sys.clean_snapshot();
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(
+            snap.rec_num(sys.protocol(), sys.base()),
+            sys.clean_rec_num()
+        );
+        assert_eq!(sys.observations_spent(), 0, "clean snapshot is free");
+    }
+
+    #[test]
+    fn trait_object_observation_matches_concrete_calls() {
+        let cfg = small_cfg();
+        let concrete = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), cfg.clone());
+        let erased = BlackBoxSystem::build(toy(), Box::new(ItemPop::new()), cfg.clone());
+        let erased: &dyn ObservableSystem = &erased;
+        let target = concrete.public_info().target_items[0];
+        let poisons: Vec<Vec<Trajectory>> = (1..=3).map(|n| vec![vec![target; 3 * n]; n]).collect();
+        let slices: Vec<&[Trajectory]> = poisons.iter().map(|p| p.as_slice()).collect();
+        assert_eq!(
+            concrete.observe_batch(&poisons, 2),
+            erased.observe_batch(&slices, 2)
+        );
+        assert_eq!(erased.observations_spent(), 3);
+        assert_eq!(erased.ranker_name(), "ItemPop");
     }
 
     #[test]

@@ -83,10 +83,16 @@ impl FaultPlan {
         self.panic_jobs.iter().copied().collect()
     }
 
-    /// Called by the pool as each claimed job starts, inside the
-    /// catch-unwind boundary: panics iff this claim's ordinal is
-    /// scripted.
-    pub(crate) fn on_job_start(&self) {
+    /// Counts one work unit against the plan and panics iff this
+    /// unit's ordinal (0-based, cumulative since arming) is scripted.
+    ///
+    /// The worker pool calls this as each claimed job starts, inside
+    /// its catch-unwind boundary; the serving layer calls it once per
+    /// handled request inside *its* unwind boundary (a scripted
+    /// ordinal then surfaces as a 500 on exactly that request). Any
+    /// harness with a per-unit unwind boundary can arm a plan the same
+    /// way.
+    pub fn on_unit(&self) {
         let ordinal = self.claimed.fetch_add(1, Relaxed);
         if self.panic_jobs.contains(&ordinal) {
             panic!("injected fault: job ordinal {ordinal}");

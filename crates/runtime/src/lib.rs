@@ -47,8 +47,10 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 pub mod fault;
+pub mod swap;
 
 pub use fault::{FaultPlan, FAULT_EXIT_CODE};
+pub use swap::{Published, ReadGuard};
 
 /// A job as the pool queue sees it: a type- and lifetime-erased runner.
 type QueueTask = Box<dyn FnOnce() + Send + 'static>;
@@ -117,7 +119,7 @@ impl<T: Send> Batch<'_, T> {
                 // it nests under whatever span the caller has open.
                 let _job_span = telemetry::trace::span("job", "runtime");
                 if let Some(plan) = &faults {
-                    plan.on_job_start();
+                    plan.on_unit();
                 }
                 job()
             };
@@ -205,6 +207,35 @@ impl WorkerPool {
     #[cfg(test)]
     fn queued_tasks(&self) -> usize {
         self.shared.queue.lock().unwrap().tasks.len()
+    }
+
+    /// Enqueues a detached, fire-and-forget task on the pool's workers.
+    ///
+    /// Unlike [`WorkerPool::run`], the caller does not wait: the task
+    /// runs whenever a worker frees up, and the pool's `Drop` joins it
+    /// (workers drain the queue before exiting). The serving layer uses
+    /// this for per-connection handlers, so long-lived tasks should
+    /// poll their own shutdown signal. A panicking task is caught and
+    /// counted (`runtime_detached_panics_total`) rather than killing
+    /// its worker thread. On a pool with zero workers the task runs
+    /// inline, to completion, before `spawn` returns.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        let wrapped: QueueTask = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                telemetry::metrics::counter("runtime_detached_panics_total").inc();
+            }
+        });
+        if self.workers.is_empty() {
+            // No worker will ever pop the queue; run inline (mirrors
+            // the zero-worker `run` contract).
+            wrapped();
+            return;
+        }
+        let mut queue = self.shared.queue.lock().unwrap();
+        queue.tasks.push_back(wrapped);
+        telemetry::metrics::gauge("runtime_queue_depth").add(1);
+        drop(queue);
+        self.shared.work_ready.notify_one();
     }
 
     /// Runs `jobs` with at most `threads` of them in flight at once,
@@ -462,6 +493,51 @@ mod tests {
         assert_eq!(pool.run(2, jobs_squaring(4)), vec![0, 1, 4, 9]);
         let caught = catch_unwind(AssertUnwindSafe(|| pool.run(2, jobs_squaring(4))));
         assert!(caught.is_err(), "ordinal 5 falls in the second batch");
+    }
+
+    #[test]
+    fn spawned_tasks_complete_before_pool_drop() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..16 {
+                let hits = Arc::clone(&hits);
+                pool.spawn(move || {
+                    hits.fetch_add(1, Relaxed);
+                });
+            }
+            // `Drop` joins the workers after they drain the queue.
+        }
+        assert_eq!(hits.load(Relaxed), 16);
+    }
+
+    #[test]
+    fn spawn_on_zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let witness = Arc::clone(&hits);
+        pool.spawn(move || {
+            witness.fetch_add(1, Relaxed);
+        });
+        assert_eq!(hits.load(Relaxed), 1, "inline fallback must have run");
+        assert_eq!(pool.queued_tasks(), 0);
+    }
+
+    #[test]
+    fn spawned_panic_is_contained() {
+        let panics = telemetry::metrics::counter("runtime_detached_panics_total");
+        let before = panics.get();
+        let pool = WorkerPool::new(1);
+        pool.spawn(|| panic!("detached task exploded"));
+        // The spawn is detached, so wait for the worker to hit it
+        // before asserting the counter moved.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while panics.get() == before && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(panics.get() > before, "detached panic was never recorded");
+        // The worker survives: batches still run on it afterwards.
+        assert_eq!(pool.run(2, jobs_squaring(5)), vec![0, 1, 4, 9, 16]);
     }
 
     #[test]

@@ -1,0 +1,567 @@
+//! The recommendation application behind the socket: routing, the
+//! published snapshot, the pending-feedback buffer, and retrains.
+//!
+//! [`RecApp`] is transport-free — it maps parsed [`Request`]s to JSON
+//! responses — so its semantics are unit-testable without a listener.
+//!
+//! Concurrency model (DESIGN.md §5e):
+//!
+//! * **Reads never wait.** `/recommend`, `/healthz`, `/info` and
+//!   `/metrics` touch only the [`runtime::Published`] snapshot cell —
+//!   a lock-free hazard-pointer read — plus immutable state.
+//! * **Retrains happen off to the side.** `POST /retrain` drains the
+//!   pending feedback, fine-tunes a fresh [`RankerSnapshot`] while the
+//!   previous generation keeps serving, then publishes it with one
+//!   atomic swap. A `Mutex` serializes concurrent retrains (the seed
+//!   stream is consumed per retrain, so they must be ordered), but no
+//!   reader ever takes it.
+//! * **Feedback is buffered, not applied.** `POST /feedback` admits
+//!   trajectories into a pending buffer (optionally through a
+//!   calibrated [`OnlineFilter`]); only a retrain makes them visible.
+//!
+//! This mirrors the in-process [`BlackBoxSystem`] exactly: one
+//! feedback-then-retrain round trip consumes one observation-seed
+//! ordinal and produces the same model the in-process `observe` call
+//! would have produced — the bit-identity the over-the-wire attack
+//! path rests on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use recsys::data::Trajectory;
+use recsys::defense::OnlineFilter;
+use recsys::snapshot::RankerSnapshot;
+use recsys::system::BlackBoxSystem;
+use runtime::Published;
+use telemetry::json::{self, Json};
+
+use crate::http::Request;
+
+/// A routed response: status + JSON body, tagged with the snapshot
+/// generation that answered (for the access log).
+#[derive(Debug)]
+pub struct AppResponse {
+    pub status: u16,
+    pub body: Json,
+    pub generation: u64,
+}
+
+impl AppResponse {
+    fn ok(body: Json, generation: u64) -> Self {
+        Self {
+            status: 200,
+            body,
+            generation,
+        }
+    }
+
+    fn error(status: u16, message: impl Into<String>, generation: u64) -> Self {
+        Self {
+            status,
+            body: Json::obj().field("error", message.into()),
+            generation,
+        }
+    }
+}
+
+/// Shared server state: the system under attack plus serving-side
+/// buffers. All methods take `&self`; the struct is `Sync`.
+pub struct RecApp {
+    system: BlackBoxSystem,
+    /// The live generation; swapped atomically by retrains.
+    snapshot: Published<RankerSnapshot>,
+    /// Feedback admitted but not yet retrained into a generation.
+    pending: Mutex<Vec<Trajectory>>,
+    /// Serializes retrains: each consumes one seed ordinal, so their
+    /// order must be total even under concurrent `POST /retrain`.
+    retrain: Mutex<()>,
+    /// Optional online injection filter consulted per trajectory.
+    defense: Option<OnlineFilter>,
+    flagged_total: AtomicU64,
+}
+
+impl RecApp {
+    /// Wraps a fitted system, publishing its clean generation-0
+    /// snapshot. `defense` rejects flagged feedback at ingestion.
+    pub fn new(system: BlackBoxSystem, defense: Option<OnlineFilter>) -> Self {
+        let snapshot = Published::new(std::sync::Arc::new(system.clean_snapshot()));
+        Self {
+            system,
+            snapshot,
+            pending: Mutex::new(Vec::new()),
+            retrain: Mutex::new(()),
+            defense,
+            flagged_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.snapshot.read().generation()
+    }
+
+    /// The wrapped system (tests compare against its in-process path).
+    pub fn system(&self) -> &BlackBoxSystem {
+        &self.system
+    }
+
+    /// Routes one parsed request. Never blocks on a retrain for read
+    /// paths; never panics on client input (panics that do escape are
+    /// the *server's* bugs, and the connection layer converts them to
+    /// 500s).
+    pub fn handle(&self, req: &Request) -> AppResponse {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/metrics") => self.metrics(),
+            ("GET", "/info") => self.info(),
+            ("POST", "/feedback") => self.feedback(req),
+            ("POST", "/retrain") => self.retrain(),
+            ("GET", path) if path.starts_with("/recommend/") => self.recommend(req, path),
+            (_, "/healthz" | "/metrics" | "/info") => self.method_not_allowed(),
+            (_, "/feedback" | "/retrain") => self.method_not_allowed(),
+            (_, path) if path.starts_with("/recommend/") => self.method_not_allowed(),
+            _ => AppResponse::error(404, format!("no route for {}", req.path), self.generation()),
+        }
+    }
+
+    fn method_not_allowed(&self) -> AppResponse {
+        AppResponse::error(405, "method not allowed for this route", self.generation())
+    }
+
+    fn healthz(&self) -> AppResponse {
+        let snap = self.snapshot.read();
+        AppResponse::ok(
+            Json::obj()
+                .field("ok", true)
+                .field("generation", snap.generation()),
+            snap.generation(),
+        )
+    }
+
+    fn metrics(&self) -> AppResponse {
+        AppResponse::ok(telemetry::metrics::snapshot().to_json(), self.generation())
+    }
+
+    /// The experimenter-side disclosure: everything an in-process
+    /// attack reads off the system object, as one document.
+    fn info(&self) -> AppResponse {
+        let cfg = self.system.config();
+        let info = self.system.public_info();
+        let snap = self.snapshot.read();
+        let body = Json::obj()
+            .field("num_items", info.num_items)
+            .field(
+                "target_items",
+                Json::Arr(info.target_items.iter().map(|&i| Json::from(i)).collect()),
+            )
+            .field(
+                "popularity",
+                Json::Arr(info.popularity.iter().map(|&p| Json::from(p)).collect()),
+            )
+            .field(
+                "eval_users",
+                Json::Arr(
+                    self.system
+                        .protocol()
+                        .eval_users()
+                        .iter()
+                        .map(|&u| Json::from(u))
+                        .collect(),
+                ),
+            )
+            .field(
+                "config",
+                Json::obj()
+                    .field("eval_users", cfg.eval_users)
+                    .field("top_k", cfg.top_k)
+                    .field("n_candidates", cfg.n_candidates)
+                    .field("seed", cfg.seed)
+                    .field("reserve_attackers", cfg.reserve_attackers),
+            )
+            .field("ranker", self.system.ranker_name())
+            .field("generation", snap.generation())
+            .field("observations_spent", self.system.observations_spent())
+            .field(
+                "defense",
+                match &self.defense {
+                    Some(filter) => Json::obj()
+                        .field("detector", filter.detector_name())
+                        .field("fpr", filter.fpr())
+                        .field("threshold", filter.threshold()),
+                    None => Json::Null,
+                },
+            );
+        AppResponse::ok(body, snap.generation())
+    }
+
+    fn recommend(&self, req: &Request, path: &str) -> AppResponse {
+        let snap = self.snapshot.read();
+        let generation = snap.generation();
+        let user_str = &path["/recommend/".len()..];
+        let Ok(user) = user_str.parse::<u32>() else {
+            return AppResponse::error(400, format!("bad user id {user_str:?}"), generation);
+        };
+        let k = match req.query_param("k") {
+            None => self.system.config().top_k,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(k) if k <= 10_000 => k,
+                _ => {
+                    return AppResponse::error(400, format!("bad k {raw:?}"), generation);
+                }
+            },
+        };
+        if !snap.knows_user(user) {
+            return AppResponse::error(404, format!("unknown user {user}"), generation);
+        }
+        let items = snap.recommend_k(self.system.protocol(), self.system.base(), user, k);
+        telemetry::metrics::counter("serve_recommendations_total").inc();
+        AppResponse::ok(
+            Json::obj()
+                .field("user", user)
+                .field("k", k)
+                .field("generation", generation)
+                .field(
+                    "items",
+                    Json::Arr(items.into_iter().map(Json::from).collect()),
+                ),
+            generation,
+        )
+    }
+
+    /// Admits trajectories into the pending buffer. The whole batch is
+    /// validated before any of it is admitted, so a 4xx/409 response
+    /// means the buffer is untouched.
+    fn feedback(&self, req: &Request) -> AppResponse {
+        let generation = self.generation();
+        let Ok(text) = std::str::from_utf8(&req.body) else {
+            return AppResponse::error(400, "body is not UTF-8", generation);
+        };
+        let Ok(doc) = json::parse(text) else {
+            return AppResponse::error(400, "body is not valid JSON", generation);
+        };
+        let Some(Json::Arr(rows)) = doc.get("trajectories") else {
+            return AppResponse::error(400, "missing \"trajectories\" array", generation);
+        };
+        // Valid ids span the full catalog: organic items *plus* the
+        // appended target items (ids `num_items..catalog`).
+        let num_items = u64::from(self.system.base().catalog());
+        let mut parsed: Vec<Trajectory> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let Json::Arr(items) = row else {
+                return AppResponse::error(400, "trajectory is not an array", generation);
+            };
+            let mut traj = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_u64() {
+                    Some(i) if i < num_items => traj.push(i as u32),
+                    Some(i) => {
+                        return AppResponse::error(
+                            400,
+                            format!("item {i} outside catalog of {num_items}"),
+                            generation,
+                        );
+                    }
+                    None => {
+                        return AppResponse::error(400, "non-integer item id", generation);
+                    }
+                }
+            }
+            parsed.push(traj);
+        }
+
+        // Online defense: score each trajectory against the frozen
+        // threshold; flagged ones are dropped at the door.
+        let mut admitted = Vec::with_capacity(parsed.len());
+        let mut flagged = 0u64;
+        for traj in parsed {
+            let admit = self
+                .defense
+                .as_ref()
+                .is_none_or(|f| f.admits(self.system.base(), &traj));
+            if admit {
+                admitted.push(traj);
+            } else {
+                flagged += 1;
+            }
+        }
+        self.flagged_total.fetch_add(flagged, Ordering::Relaxed);
+        if flagged > 0 {
+            telemetry::metrics::counter("serve_feedback_flagged_total").add(flagged);
+        }
+
+        let budget = u64::from(self.system.config().reserve_attackers);
+        let mut pending = self.pending.lock().unwrap();
+        let would_hold = pending.len() as u64 + admitted.len() as u64;
+        if would_hold > budget {
+            return AppResponse::error(
+                409,
+                format!(
+                    "attacker budget exhausted: {} pending + {} new > {budget} reserved",
+                    pending.len(),
+                    admitted.len()
+                ),
+                generation,
+            );
+        }
+        let accepted = admitted.len() as u64;
+        pending.extend(admitted);
+        let held = pending.len() as u64;
+        drop(pending);
+        AppResponse::ok(
+            Json::obj()
+                .field("accepted", accepted)
+                .field("flagged", flagged)
+                .field("pending", held),
+            generation,
+        )
+    }
+
+    /// Drains the pending feedback into a fresh generation and
+    /// publishes it. Readers of the old generation are never blocked;
+    /// feedback arriving mid-retrain lands in the *next* generation.
+    fn retrain(&self) -> AppResponse {
+        let _order = self.retrain.lock().unwrap();
+        let poison = std::mem::take(&mut *self.pending.lock().unwrap());
+        let ingested = poison.len() as u64;
+        let snap = self.system.retrain_snapshot(&poison);
+        let generation = snap.generation();
+        let seed = snap.seed();
+        let retired = self.snapshot.publish(std::sync::Arc::new(snap));
+        telemetry::metrics::counter("serve_retrains_total").inc();
+        telemetry::metrics::gauge("serve_retired_snapshots").set(retired as i64);
+        AppResponse::ok(
+            Json::obj()
+                .field("generation", generation)
+                .field("seed", seed)
+                .field("ingested", ingested),
+            generation,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Limits, RequestParser};
+    use recsys::data::Dataset;
+    use recsys::rankers::ItemPop;
+    use recsys::system::SystemConfig;
+
+    fn app() -> RecApp {
+        let histories = (0..40u32)
+            .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
+            .collect();
+        let data = Dataset::from_histories("toy", histories, 60, 8);
+        let system = BlackBoxSystem::build(
+            data,
+            Box::new(ItemPop::new()),
+            SystemConfig {
+                eval_users: 16,
+                reserve_attackers: 8,
+                ..SystemConfig::default()
+            },
+        );
+        RecApp::new(system, None)
+    }
+
+    fn get(app: &RecApp, target: &str) -> AppResponse {
+        request(app, "GET", target, "")
+    }
+
+    fn request(app: &RecApp, method: &str, target: &str, body: &str) -> AppResponse {
+        let raw = format!(
+            "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(raw.as_bytes());
+        let req = parser.next_request().unwrap().unwrap();
+        app.handle(&req)
+    }
+
+    #[test]
+    fn healthz_and_info_describe_the_clean_system() {
+        let app = app();
+        let health = get(&app, "/healthz");
+        assert_eq!(health.status, 200);
+        assert_eq!(
+            health.body.get("generation").and_then(Json::as_u64),
+            Some(0)
+        );
+
+        let info = get(&app, "/info");
+        assert_eq!(info.status, 200);
+        assert_eq!(
+            info.body.get("ranker").and_then(Json::as_str),
+            Some("ItemPop")
+        );
+        assert_eq!(
+            info.body
+                .get("config")
+                .and_then(|c| c.get("reserve_attackers"))
+                .and_then(Json::as_u64),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn recommend_serves_the_protocol_lists() {
+        let app = app();
+        let user = app.system().protocol().eval_users()[0];
+        let resp = get(&app, &format!("/recommend/{user}"));
+        assert_eq!(resp.status, 200);
+        let Some(Json::Arr(items)) = resp.body.get("items") else {
+            panic!("items missing");
+        };
+        assert_eq!(items.len(), app.system().config().top_k);
+
+        let small = get(&app, &format!("/recommend/{user}?k=3"));
+        let Some(Json::Arr(prefix)) = small.body.get("items") else {
+            panic!("items missing");
+        };
+        assert_eq!(prefix.as_slice(), &items[..3]);
+    }
+
+    #[test]
+    fn recommend_rejects_unknown_users_and_bad_k() {
+        let app = app();
+        assert_eq!(get(&app, "/recommend/9999").status, 404);
+        assert_eq!(get(&app, "/recommend/banana").status, 400);
+        assert_eq!(get(&app, "/recommend/0?k=banana").status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_and_wrong_methods() {
+        let app = app();
+        assert_eq!(get(&app, "/nope").status, 404);
+        assert_eq!(request(&app, "POST", "/healthz", "").status, 405);
+        assert_eq!(request(&app, "DELETE", "/feedback", "").status, 405);
+    }
+
+    #[test]
+    fn feedback_validates_and_buffers() {
+        let app = app();
+        let bad = request(&app, "POST", "/feedback", "{\"trajectories\":[[999]]}");
+        assert_eq!(bad.status, 400, "item outside catalog");
+        let ok = request(&app, "POST", "/feedback", "{\"trajectories\":[[1,2],[3]]}");
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body.get("accepted").and_then(Json::as_u64), Some(2));
+        assert_eq!(ok.body.get("pending").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn feedback_over_budget_is_409_and_untouched() {
+        let app = app();
+        let fill = "{\"trajectories\":[[1],[1],[1],[1],[1],[1],[1],[1]]}";
+        assert_eq!(request(&app, "POST", "/feedback", fill).status, 200);
+        let over = request(&app, "POST", "/feedback", "{\"trajectories\":[[2]]}");
+        assert_eq!(over.status, 409);
+        // Retrain drains the buffer; budget frees up.
+        assert_eq!(request(&app, "POST", "/retrain", "").status, 200);
+        let again = request(&app, "POST", "/feedback", "{\"trajectories\":[[2]]}");
+        assert_eq!(again.status, 200);
+    }
+
+    #[test]
+    fn retrain_matches_the_in_process_observation_stream() {
+        let histories = (0..40u32)
+            .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
+            .collect();
+        let data = Dataset::from_histories("toy", histories, 60, 8);
+        let cfg = SystemConfig {
+            eval_users: 16,
+            reserve_attackers: 8,
+            ..SystemConfig::default()
+        };
+        let reference = BlackBoxSystem::build(data.clone(), Box::new(ItemPop::new()), cfg.clone());
+        let target = reference.public_info().target_items[0];
+        let poison = vec![vec![target; 6]; 4];
+        let expected = reference.observe(&poison);
+
+        let app = RecApp::new(
+            BlackBoxSystem::build(data, Box::new(ItemPop::new()), cfg),
+            None,
+        );
+        let body = format!(
+            "{{\"trajectories\":[{}]}}",
+            poison
+                .iter()
+                .map(|t| format!(
+                    "[{}]",
+                    t.iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert_eq!(request(&app, "POST", "/feedback", &body).status, 200);
+        let retrain = request(&app, "POST", "/retrain", "");
+        assert_eq!(retrain.status, 200);
+        assert_eq!(
+            retrain.body.get("seed").and_then(Json::as_u64),
+            Some(expected.seed),
+            "served retrain must consume the same seed stream"
+        );
+        assert_eq!(
+            retrain.body.get("generation").and_then(Json::as_u64),
+            Some(1)
+        );
+
+        // Count target hits over the served lists: must equal the
+        // in-process observation's RecNum.
+        let mut rec_num = 0u32;
+        let targets = app.system().public_info().target_items;
+        for &user in app.system().protocol().eval_users() {
+            let resp = get(&app, &format!("/recommend/{user}"));
+            let Some(Json::Arr(items)) = resp.body.get("items") else {
+                panic!("items missing");
+            };
+            rec_num += items
+                .iter()
+                .filter_map(Json::as_u64)
+                .filter(|&i| targets.contains(&(i as u32)))
+                .count() as u32;
+        }
+        assert_eq!(rec_num, expected.rec_num);
+    }
+
+    #[test]
+    fn online_defense_drops_flagged_feedback_at_the_door() {
+        let histories = (0..60u32)
+            .map(|u| (0..8).map(|t| (u + t * 3) % 40).collect())
+            .collect();
+        let data = Dataset::from_histories("d", histories, 200, 8);
+        let filter =
+            OnlineFilter::calibrate(Box::new(recsys::defense::RepetitionDetector), &data, 0.05);
+        let system = BlackBoxSystem::build(
+            data,
+            Box::new(ItemPop::new()),
+            SystemConfig {
+                eval_users: 16,
+                reserve_attackers: 8,
+                ..SystemConfig::default()
+            },
+        );
+        let app = RecApp::new(system, Some(filter));
+        // A blatant burst is flagged; an organic-looking one passes.
+        let resp = request(
+            &app,
+            "POST",
+            "/feedback",
+            "{\"trajectories\":[[5,5,5,5,5,5],[1,4,7,10,13,16]]}",
+        );
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body.get("accepted").and_then(Json::as_u64), Some(1));
+        assert_eq!(resp.body.get("flagged").and_then(Json::as_u64), Some(1));
+        let info = get(&app, "/info");
+        assert_eq!(
+            info.body
+                .get("defense")
+                .and_then(|d| d.get("detector"))
+                .and_then(Json::as_str),
+            Some("repetition")
+        );
+    }
+}

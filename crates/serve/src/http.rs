@@ -1,0 +1,403 @@
+//! A hand-rolled, sans-io HTTP/1.1 request parser.
+//!
+//! The workspace has no HTTP dependency, and the served protocol needs
+//! only a small, strict slice of HTTP/1.1: `Content-Length`-framed
+//! requests with percent-encoded targets, keep-alive, and pipelining.
+//! [`RequestParser`] is a pure byte-buffer machine — the caller pushes
+//! whatever the socket produced and asks for complete requests — which
+//! makes it directly property-testable without sockets (see
+//! `tests/http_proptest.rs`): truncated requests park as `Ok(None)`,
+//! malformed ones fail as 400, oversized ones as 413, and pipelined
+//! bytes simply stay buffered for the next call.
+//!
+//! Strictness is a feature: anything ambiguous (bad escapes, non-UTF-8
+//! heads, chunked framing, missing version) is rejected rather than
+//! guessed at, so the server can never be driven into an undefined
+//! framing state by a malicious client.
+
+/// Byte budgets a connection must stay inside; exceeding either is a
+/// 413 and closes the connection (framing can't be trusted past it).
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Request line + headers, including the blank line.
+    pub max_head_bytes: usize,
+    /// Declared `Content-Length` ceiling.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parse rejection, mapped onto the response status the connection
+/// handler must send before hanging up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically invalid request → 400.
+    BadRequest(&'static str),
+    /// Head or declared body over the [`Limits`] → 413.
+    TooLarge(&'static str),
+}
+
+impl HttpError {
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge(_) => 413,
+        }
+    }
+
+    pub fn reason(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(msg) | HttpError::TooLarge(msg) => msg,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status(), self.reason())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One fully-received request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    /// Percent-decoded path, query stripped (`/recommend/3`).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// HTTP/1.1 defaults to keep-alive; `Connection: close` clears it.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value for `name` in the query string.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Incremental parser over a growing byte buffer. Push socket reads
+/// in with [`RequestParser::push`], pull complete requests out with
+/// [`RequestParser::next_request`]; leftover bytes (pipelining) stay
+/// buffered.
+pub struct RequestParser {
+    buf: Vec<u8>,
+    limits: Limits,
+}
+
+impl RequestParser {
+    pub fn new(limits: Limits) -> Self {
+        Self {
+            buf: Vec::new(),
+            limits,
+        }
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request —
+    /// nonzero after `Ok(None)` means a request is in flight.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to cut one complete request off the front of the buffer.
+    ///
+    /// `Ok(None)` means the bytes so far are a valid *prefix* — read
+    /// more. An `Err` poisons the connection: framing past a rejected
+    /// head is unknowable, so the caller must respond and close.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_end) = find_head_end(&self.buf, self.limits.max_head_bytes) else {
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(HttpError::TooLarge("request head over limit"));
+            }
+            return Ok(None);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| HttpError::BadRequest("request head is not UTF-8"))?;
+
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let (method, target) = parse_request_line(request_line)?;
+
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(HttpError::BadRequest("header without colon"))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::BadRequest("malformed header name"));
+            }
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest("unparseable content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Only Content-Length framing is spoken here.
+                return Err(HttpError::BadRequest("transfer-encoding unsupported"));
+            }
+        }
+        if content_length > self.limits.max_body_bytes {
+            return Err(HttpError::TooLarge("declared body over limit"));
+        }
+
+        let body_start = head_end + 4;
+        let body_end = body_start + content_length;
+        if self.buf.len() < body_end {
+            return Ok(None);
+        }
+
+        // The target is only decoded once the message is known to be
+        // complete, so a bad escape in a truncated request still
+        // parks rather than racing the missing bytes.
+        let (path, query) = parse_target(target)?;
+        let method = method.to_string();
+        let body = self.buf[body_start..body_end].to_vec();
+        self.buf.drain(..body_end);
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            body,
+            keep_alive,
+        }))
+    }
+}
+
+/// Index of `\r\n\r\n` within the head budget, if present.
+fn find_head_end(buf: &[u8], max_head: usize) -> Option<usize> {
+    let window = buf.len().min(max_head + 4);
+    buf[..window]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .filter(|&i| i <= max_head)
+}
+
+fn parse_request_line(line: &str) -> Result<(&str, &str), HttpError> {
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("extra tokens in request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("malformed method"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest("target must be absolute"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+    Ok((method, target))
+}
+
+/// Splits `target` into a decoded path and decoded query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpError> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Strict `%XX` decoding; rejects truncated or non-hex escapes and
+/// escapes that do not decode to UTF-8.
+pub fn percent_decode(s: &str) -> Result<String, HttpError> {
+    if !s.contains('%') {
+        return Ok(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let (Some(&hi), Some(&lo)) = (bytes.get(i + 1), bytes.get(i + 2)) else {
+                return Err(HttpError::BadRequest("truncated percent escape"));
+            };
+            let hex = |b: u8| -> Option<u8> {
+                match b {
+                    b'0'..=b'9' => Some(b - b'0'),
+                    b'a'..=b'f' => Some(b - b'a' + 10),
+                    b'A'..=b'F' => Some(b - b'A' + 10),
+                    _ => None,
+                }
+            };
+            let (Some(hi), Some(lo)) = (hex(hi), hex(lo)) else {
+                return Err(HttpError::BadRequest("non-hex percent escape"));
+            };
+            out.push(hi * 16 + lo);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::BadRequest("escape decodes to invalid UTF-8"))
+}
+
+/// Canonical reason phrase for every status the server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Every status in the served protocol's vocabulary (the access-log
+/// validator rejects anything else).
+pub const KNOWN_STATUSES: [u16; 7] = [200, 400, 404, 405, 409, 413, 500];
+
+/// Serializes one `Content-Length`-framed JSON response.
+pub fn render_response(status: u16, body: &str, close: bool) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        status_text(status),
+        body.len()
+    );
+    if close {
+        out.push_str("Connection: close\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut p = RequestParser::new(Limits::default());
+        p.push(raw);
+        p.next_request()
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse_one(b"GET /recommend/7?k=5 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/recommend/7");
+        assert_eq!(req.query_param("k"), Some("5"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_close() {
+        let req = parse_one(
+            b"POST /feedback HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nabcd",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn truncated_request_parks_until_bytes_arrive() {
+        let mut p = RequestParser::new(Limits::default());
+        p.push(b"POST /feedback HTTP/1.1\r\nContent-Length: 4\r\n\r\nab");
+        assert!(p.next_request().unwrap().is_none());
+        p.push(b"cd");
+        let req = p.next_request().unwrap().unwrap();
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut p = RequestParser::new(Limits::default());
+        p.push(b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/healthz");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/metrics");
+        assert!(p.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_head_is_413() {
+        let mut p = RequestParser::new(Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 64,
+        });
+        p.push(b"GET / HTTP/1.1\r\nX-Pad: ");
+        p.push(&[b'a'; 128]);
+        assert_eq!(
+            p.next_request().unwrap_err().status(),
+            413,
+            "unterminated oversized head"
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_reading_it() {
+        let err =
+            parse_one(b"POST /feedback HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn bad_escapes_and_bad_framing_are_400() {
+        for raw in [
+            &b"GET /x%ZZ HTTP/1.1\r\n\r\n"[..],
+            b"GET /x%2 HTTP/1.1\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"get /lower HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/9.9\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            let err = parse_one(raw).expect_err("should reject");
+            assert_eq!(err.status(), 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn percent_decoding_round_trips() {
+        assert_eq!(percent_decode("/a%20b").unwrap(), "/a b");
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert!(percent_decode("%e2%82%ac").unwrap().contains('€'));
+    }
+}

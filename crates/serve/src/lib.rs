@@ -1,0 +1,395 @@
+//! # serve
+//!
+//! A zero-dependency HTTP/1.1 recommendation server over
+//! [`std::net::TcpListener`], exposing the PoisonRec attack surface
+//! over a real socket (DESIGN.md §5e):
+//!
+//! | route                     | semantics                                    |
+//! |---------------------------|----------------------------------------------|
+//! | `GET /recommend/{u}?k=`   | top-k list from the live snapshot            |
+//! | `POST /feedback`          | buffer trajectories (optional online filter) |
+//! | `POST /retrain`           | drain feedback → fine-tune → atomic publish  |
+//! | `GET /info`               | experimenter-side disclosure                 |
+//! | `GET /metrics`            | global telemetry registry snapshot           |
+//! | `GET /healthz`            | liveness + current generation                |
+//!
+//! Layering: [`http`] is the sans-io parser, [`app`] the
+//! transport-free router, and this module the socket plumbing —
+//! accept loop, keep-alive/pipelining, per-request panic isolation,
+//! the JSONL access log, and graceful shutdown that drains every
+//! accepted request before [`Server::shutdown`] returns.
+//!
+//! Connections are handled on a dedicated [`runtime::WorkerPool`]
+//! owned by the server (never `runtime::global()`, which sizes itself
+//! to spare cores and may legitimately have zero workers). One
+//! connection occupies one pool task for its lifetime, so a server
+//! with `threads` workers serves at most `threads` concurrent
+//! connections; excess accepts queue in the pool.
+
+pub mod app;
+pub mod http;
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use telemetry::json::Json;
+use telemetry::JsonlSink;
+
+pub use app::{AppResponse, RecApp};
+pub use http::{HttpError, Limits, Request, RequestParser};
+
+/// How a [`Server`] is wired up; independent of the system it serves.
+pub struct ServerConfig {
+    /// Port to bind on 127.0.0.1; `0` asks the OS for a free one
+    /// (tests always do — see [`Server::local_addr`]).
+    pub port: u16,
+    /// Connection-handling worker threads (min 1).
+    pub threads: usize,
+    /// One JSONL access event per request when set.
+    pub access_log: Option<std::path::PathBuf>,
+    /// Scripted per-request faults: each request consumes one fault
+    /// ordinal, and a scripted ordinal panics inside the handler's
+    /// unwind boundary — surfacing as a 500 while the server lives on.
+    pub fault_plan: Option<Arc<runtime::FaultPlan>>,
+    /// Parser byte budgets.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            threads: 2,
+            access_log: None,
+            fault_plan: None,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Counters a graceful shutdown reports back; `dropped()` must be 0.
+#[derive(Clone, Copy, Debug)]
+pub struct ShutdownStats {
+    /// Requests fully parsed off a socket.
+    pub accepted: u64,
+    /// Responses fully written back.
+    pub completed: u64,
+}
+
+impl ShutdownStats {
+    /// Accepted requests that never got a response — the graceful-
+    /// shutdown contract is that this is always zero.
+    pub fn dropped(&self) -> u64 {
+        self.accepted.saturating_sub(self.completed)
+    }
+}
+
+struct Shared {
+    app: RecApp,
+    log: Option<JsonlSink>,
+    started: Instant,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    connection_ids: AtomicU64,
+    requests_accepted: AtomicU64,
+    responses_completed: AtomicU64,
+    fault_plan: Option<Arc<runtime::FaultPlan>>,
+    limits: Limits,
+}
+
+/// A running server. Dropping it performs a graceful shutdown.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Owned pool; dropped last so queued connections finish.
+    pool: Option<Arc<runtime::WorkerPool>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:{port}` and starts accepting. The app is built
+    /// by the caller so tests can inject defenses or prebuilt systems.
+    pub fn start(app: RecApp, cfg: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let log = match &cfg.access_log {
+            Some(path) => Some(JsonlSink::create(path)?),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            app,
+            log,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            connection_ids: AtomicU64::new(0),
+            requests_accepted: AtomicU64::new(0),
+            responses_completed: AtomicU64::new(0),
+            fault_plan: cfg.fault_plan,
+            limits: cfg.limits,
+        });
+        if let Some(log) = &shared.log {
+            log.emit(
+                &Json::obj()
+                    .field("type", "manifest")
+                    .field("kind", "access-log")
+                    .field("addr", addr.to_string())
+                    .field("ranker", shared.app.system().ranker_name())
+                    .field("threads", cfg.threads.max(1)),
+            )?;
+        }
+
+        let pool = Arc::new(runtime::WorkerPool::new(cfg.threads.max(1)));
+        let accept_shared = Arc::clone(&shared);
+        let accept_pool = Arc::clone(&pool);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_pool))?;
+
+        Ok(Self {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address — with `port: 0`, the OS-assigned one.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.shared.app.generation()
+    }
+
+    /// Stops accepting, waits for every in-flight connection to drain,
+    /// and reports the request/response ledger. Idempotent via Drop.
+    pub fn shutdown(mut self) -> ShutdownStats {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> ShutdownStats {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Drain: every accepted connection decrements on exit; their
+        // read loops observe the shutdown flag within one poll tick.
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Dropping the pool joins its workers (queue is drained first).
+        self.pool = None;
+        ShutdownStats {
+            accepted: self.shared.requests_accepted.load(Ordering::SeqCst),
+            completed: self.shared.responses_completed.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.pool.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<runtime::WorkerPool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                telemetry::metrics::gauge("serve_active_connections").add(1);
+                let conn_shared = Arc::clone(&shared);
+                pool.spawn(move || {
+                    let conn = conn_shared.connection_ids.fetch_add(1, Ordering::Relaxed);
+                    handle_connection(stream, &conn_shared, conn);
+                    conn_shared
+                        .active_connections
+                        .fetch_sub(1, Ordering::SeqCst);
+                    telemetry::metrics::gauge("serve_active_connections").add(-1);
+                });
+            }
+            Err(err) if err.kind() == ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Ticks of the 20ms read timeout a half-received request may keep a
+/// draining connection alive for (~2s), bounding shutdown latency
+/// against clients that stall mid-request.
+const DRAIN_GRACE_TICKS: u32 = 100;
+
+fn handle_connection(stream: TcpStream, shared: &Shared, conn: u64) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut stream = stream;
+    let mut parser = RequestParser::new(shared.limits);
+    let mut read_buf = [0u8; 8192];
+    let mut drain_ticks = 0u32;
+
+    loop {
+        // Serve everything already buffered (pipelining) first.
+        loop {
+            match parser.next_request() {
+                Ok(Some(req)) => {
+                    shared.requests_accepted.fetch_add(1, Ordering::SeqCst);
+                    let closing = !req.keep_alive || shared.shutdown.load(Ordering::SeqCst);
+                    if !respond(&mut stream, shared, conn, &req, closing) {
+                        return;
+                    }
+                    shared.responses_completed.fetch_add(1, Ordering::SeqCst);
+                    if closing {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    // Framing is untrustworthy past a parse error:
+                    // answer and hang up.
+                    reject(&mut stream, shared, conn, &err);
+                    return;
+                }
+            }
+        }
+
+        match stream.read(&mut read_buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                drain_ticks = 0;
+                parser.push(&read_buf[..n]);
+            }
+            Err(err)
+                if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    if parser.buffered() == 0 {
+                        return;
+                    }
+                    // A request is mid-flight: grant a bounded grace.
+                    drain_ticks += 1;
+                    if drain_ticks > DRAIN_GRACE_TICKS {
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes `req`, isolating handler panics (including scripted
+/// [`runtime::FaultPlan`] faults) into 500s. Returns false if the
+/// response could not be written (peer went away).
+fn respond(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    conn: u64,
+    req: &Request,
+    closing: bool,
+) -> bool {
+    let timer = Instant::now();
+    telemetry::metrics::counter("serve_requests_total").inc();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(plan) = &shared.fault_plan {
+            plan.on_unit();
+        }
+        shared.app.handle(req)
+    }));
+    let resp = outcome.unwrap_or_else(|_| {
+        telemetry::metrics::counter("serve_request_panics_total").inc();
+        AppResponse {
+            status: 500,
+            body: Json::obj().field("error", "internal error"),
+            generation: shared.app.generation(),
+        }
+    });
+    let micros = timer.elapsed().as_micros() as u64;
+    let ok = write_response(stream, resp.status, &resp.body, closing);
+    log_access(
+        shared,
+        conn,
+        &req.method,
+        &req.path,
+        resp.status,
+        resp.generation,
+        micros,
+    );
+    if resp.status >= 500 {
+        telemetry::metrics::counter("serve_responses_5xx_total").inc();
+    }
+    ok
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &Json, close: bool) -> bool {
+    let bytes = http::render_response(status, &body.render(), close);
+    stream
+        .write_all(&bytes)
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+/// Answers a parse error and logs it. The request line never became
+/// trustworthy, so method and path are recorded as `"?"` and the
+/// connection always closes.
+fn reject(stream: &mut TcpStream, shared: &Shared, conn: u64, err: &http::HttpError) {
+    let body = Json::obj().field("error", err.reason().to_string());
+    let _ = write_response(stream, err.status(), &body, true);
+    log_access(
+        shared,
+        conn,
+        "?",
+        "?",
+        err.status(),
+        shared.app.generation(),
+        0,
+    );
+}
+
+/// One `{"type":"access", ...}` event per request. `ts_micros` is a
+/// monotonic clock (micros since server start), so the validator can
+/// require per-connection monotonicity without wall-clock caveats.
+fn log_access(
+    shared: &Shared,
+    conn: u64,
+    method: &str,
+    path: &str,
+    status: u16,
+    generation: u64,
+    micros: u64,
+) {
+    let Some(log) = &shared.log else {
+        return;
+    };
+    let _ = log.emit(
+        &Json::obj()
+            .field("type", "access")
+            .field("conn", conn)
+            .field("method", method.to_string())
+            .field("path", path.to_string())
+            .field("status", u64::from(status))
+            .field("generation", generation)
+            .field("micros", micros)
+            .field("ts_micros", shared.started.elapsed().as_micros() as u64),
+    );
+}

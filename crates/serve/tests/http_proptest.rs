@@ -1,0 +1,190 @@
+//! Property tests for the hand-rolled HTTP parser: malformed input of
+//! any shape must classify as 400/413 or park for more bytes — never
+//! panic, never hang, never mis-frame a pipelined successor.
+
+use proptest::prelude::*;
+use serve::http::{Limits, RequestParser};
+
+fn tight_limits() -> Limits {
+    Limits {
+        max_head_bytes: 256,
+        max_body_bytes: 512,
+    }
+}
+
+/// Drives the parser to quiescence, counting yielded requests.
+/// Returns (requests, error) — an error, when present, terminated the
+/// connection exactly once.
+fn drain(
+    parser: &mut RequestParser,
+) -> (Vec<serve::http::Request>, Option<serve::http::HttpError>) {
+    let mut out = Vec::new();
+    loop {
+        match parser.next_request() {
+            Ok(Some(req)) => out.push(req),
+            Ok(None) => return (out, None),
+            Err(err) => return (out, Some(err)),
+        }
+    }
+}
+
+/// Renders a well-formed request from structured parts.
+fn render_valid(user: u32, k: u16, body: &[u8]) -> Vec<u8> {
+    let mut raw = format!(
+        "POST /recommend/{user}?k={k} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    raw
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary byte soup — in arbitrary chunkings — never panics and
+    /// never hangs: every outcome is a request, a park, or a 400/413.
+    #[test]
+    fn byte_soup_never_panics(
+        soup in prop::collection::vec(0u16..256, 0..200),
+        cuts in prop::collection::vec(0usize..200, 0..4),
+    ) {
+        let soup: Vec<u8> = soup.iter().map(|&b| b as u8).collect();
+        let mut parser = RequestParser::new(tight_limits());
+        let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (soup.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut prev = 0;
+        let mut dead = false;
+        for cut in cuts.into_iter().chain([soup.len()]) {
+            parser.push(&soup[prev..cut]);
+            prev = cut;
+            let (_, err) = drain(&mut parser);
+            if let Some(err) = err {
+                prop_assert!(
+                    err.status() == 400 || err.status() == 413,
+                    "unexpected classification {err}"
+                );
+                dead = true;
+                break;
+            }
+        }
+        // A connection that survived the whole soup holds at most one
+        // incomplete request's worth of bytes (head limit + body).
+        if !dead {
+            prop_assert!(parser.buffered() <= soup.len());
+        }
+    }
+
+    /// Every truncation of a valid request parks; completing the bytes
+    /// then yields exactly that request, bit-for-bit.
+    #[test]
+    fn truncation_parks_then_completes(
+        user in 0u32..100_000,
+        k in 0u16..500,
+        body in prop::collection::vec(0u16..256, 0..64),
+        cut_seed in 0usize..10_000,
+    ) {
+        let body: Vec<u8> = body.iter().map(|&b| b as u8).collect();
+        let raw = render_valid(user, k, &body);
+        let cut = 1 + cut_seed % (raw.len() - 1);
+
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(&raw[..cut]);
+        let (early, err) = drain(&mut parser);
+        prop_assert!(err.is_none(), "prefix misclassified: {err:?}");
+        prop_assert_eq!(early.len(), 0);
+
+        parser.push(&raw[cut..]);
+        let (done, err) = drain(&mut parser);
+        prop_assert!(err.is_none(), "completed request rejected: {err:?}");
+        prop_assert_eq!(done.len(), 1);
+        let req = &done[0];
+        prop_assert_eq!(&req.method, "POST");
+        prop_assert_eq!(req.path.clone(), format!("/recommend/{user}"));
+        let want_k = k.to_string();
+        prop_assert_eq!(req.query_param("k"), Some(want_k.as_str()));
+        prop_assert_eq!(&req.body, &body);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    /// Pipelined requests come out whole, in order, regardless of how
+    /// the byte stream is chunked.
+    #[test]
+    fn pipelining_survives_arbitrary_chunking(
+        users in prop::collection::vec(0u32..1000, 1..5),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for &user in &users {
+            stream.extend_from_slice(&render_valid(user, 3, &[1, 2, 3]));
+        }
+        let mut parser = RequestParser::new(Limits::default());
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            parser.push(piece);
+            let (reqs, err) = drain(&mut parser);
+            prop_assert!(err.is_none(), "valid pipeline rejected: {err:?}");
+            got.extend(reqs);
+        }
+        prop_assert_eq!(got.len(), users.len());
+        for (req, &user) in got.iter().zip(&users) {
+            prop_assert_eq!(req.path.clone(), format!("/recommend/{user}"));
+            prop_assert_eq!(&req.body, &[1u8, 2, 3]);
+        }
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    /// Oversized heads are 413 whether they arrive all at once or
+    /// dribbled in — and even when no terminator ever shows up.
+    #[test]
+    fn oversized_heads_are_413(
+        pad in 300usize..2000,
+        chunk in 1usize..128,
+    ) {
+        let mut raw = b"GET /x HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', pad));
+        // Note: no terminating blank line — the parser must reject on
+        // budget alone rather than waiting forever.
+        let mut parser = RequestParser::new(tight_limits());
+        let mut verdict = None;
+        for piece in raw.chunks(chunk) {
+            parser.push(piece);
+            if let (_, Some(err)) = drain(&mut parser) {
+                verdict = Some(err);
+                break;
+            }
+        }
+        let err = verdict.expect("oversized head must be rejected");
+        prop_assert_eq!(err.status(), 413);
+    }
+
+    /// Declared bodies over budget are 413 immediately — the parser
+    /// never buffers toward an oversized body.
+    #[test]
+    fn oversized_declared_body_is_413(extra in 1usize..100_000) {
+        let limits = tight_limits();
+        let raw = format!(
+            "POST /feedback HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            limits.max_body_bytes + extra
+        );
+        let mut parser = RequestParser::new(limits);
+        parser.push(raw.as_bytes());
+        let (_, err) = drain(&mut parser);
+        prop_assert_eq!(err.expect("must reject").status(), 413);
+    }
+
+    /// Bad percent-escapes in a complete request are always 400.
+    #[test]
+    fn bad_escapes_are_400(tail in 0u16..256, place in 0usize..2) {
+        let bad = match place {
+            0 => format!("/x%{:01X}", tail % 16),          // truncated escape
+            _ => format!("/x%Z{}", (b'A' + (tail % 26) as u8) as char), // non-hex
+        };
+        let raw = format!("GET {bad} HTTP/1.1\r\n\r\n");
+        let mut parser = RequestParser::new(Limits::default());
+        parser.push(raw.as_bytes());
+        let (_, err) = drain(&mut parser);
+        prop_assert_eq!(err.expect("bad escape must be rejected").status(), 400);
+    }
+}

@@ -17,6 +17,14 @@
 //!   monotone per track, and `B`/`E` events nest LIFO per track
 //!   (see `telemetry::trace::validate_chrome`). `--trace` may also be
 //!   used alone, without a run log.
+//! * with `--access-log FILE`, `FILE` validates as a serve access log:
+//!   a leading `{"type":"manifest","kind":"access-log"}` line, then
+//!   `access` events whose `method` is a known verb, whose `status` is
+//!   in the served protocol's vocabulary (200/400/404/405/409/413/500),
+//!   whose `generation` never decreases globally (snapshot swaps are
+//!   totally ordered), and whose `ts_micros` is monotone non-decreasing
+//!   per `conn` (events on one connection are serialized). Like
+//!   `--trace`, it may be used alone.
 //!
 //! Exit code 0 on success, 1 with a diagnostic on the first violation.
 
@@ -47,9 +55,99 @@ fn check_trace(path: &str) -> Result<String, String> {
     ))
 }
 
+const KNOWN_METHODS: [&str; 5] = ["GET", "POST", "PUT", "DELETE", "?"];
+const KNOWN_STATUSES: [u64; 7] = [200, 400, 404, 405, 409, 413, 500];
+
+/// Validates a serve access log; returns a summary line.
+fn check_access_log(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let mut lines = text.lines().enumerate();
+    let Some((_, first)) = lines.next() else {
+        return Err(format!("{path} is empty"));
+    };
+    let manifest = json::parse(first).map_err(|err| format!("{path} line 1: {err}"))?;
+    if manifest.get("type").and_then(Json::as_str) != Some("manifest")
+        || manifest.get("kind").and_then(Json::as_str) != Some("access-log")
+    {
+        return Err(format!(
+            "{path} line 1 is not an access-log manifest: {first}"
+        ));
+    }
+
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut last_generation: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut max_generation = 0u64;
+    let mut events = 0u64;
+    for (lineno, line) in lines {
+        let at = |msg: String| format!("{path} line {}: {msg}", lineno + 1);
+        let value = json::parse(line).map_err(|err| at(err.to_string()))?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("no string `type` field".into()))?;
+        if kind != "access" {
+            continue; // metrics/... trailers only need to parse
+        }
+        events += 1;
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| at(format!("access event without numeric `{name}`")))
+        };
+        let conn = field("conn")?;
+        let status = field("status")?;
+        let generation = field("generation")?;
+        let ts = field("ts_micros")?;
+        field("micros")?;
+        let method = value
+            .get("method")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("access event without `method`".into()))?;
+        if !KNOWN_METHODS.contains(&method) {
+            return Err(at(format!("unknown method {method:?}")));
+        }
+        if value.get("path").and_then(Json::as_str).is_none() {
+            return Err(at("access event without `path`".into()));
+        }
+        if !KNOWN_STATUSES.contains(&status) {
+            return Err(at(format!(
+                "status {status} outside the served vocabulary {KNOWN_STATUSES:?}"
+            )));
+        }
+        // Snapshot publication is a totally-ordered swap and requests
+        // on one connection are serialized, so per connection both the
+        // clock and the observed generation are non-decreasing. (Across
+        // connections, log lines of requests straddling a swap may
+        // interleave, so only per-conn order is checkable.)
+        max_generation = max_generation.max(generation);
+        if let Some(&prev) = last_generation.get(&conn) {
+            if generation < prev {
+                return Err(at(format!(
+                    "generation regressed on conn {conn}: {prev} -> {generation}"
+                )));
+            }
+        }
+        last_generation.insert(conn, generation);
+        if let Some(&prev) = last_ts.get(&conn) {
+            if ts < prev {
+                return Err(at(format!(
+                    "ts_micros regressed on conn {conn}: {prev} -> {ts}"
+                )));
+            }
+        }
+        last_ts.insert(conn, ts);
+    }
+    Ok(format!(
+        "access log OK — {events} request(s) on {} connection(s), {} generation(s)",
+        last_ts.len(),
+        max_generation + 1
+    ))
+}
+
 fn main() -> ExitCode {
     let usage = "usage: validate_jsonl [<run.jsonl>] [--expect-steps N] [--expect-cells N] \
-                 [--trace FILE]";
+                 [--trace FILE] [--access-log FILE]";
     let mut args = std::env::args().skip(1);
     let Some(first) = args.next() else {
         return fail(usage.into());
@@ -57,9 +155,11 @@ fn main() -> ExitCode {
     let mut expect_steps: Option<u64> = None;
     let mut expect_cells: Option<usize> = None;
     let mut trace_path: Option<String> = None;
-    let path = if first == "--trace" {
+    let mut access_path: Option<String> = None;
+    let path = if first == "--trace" || first == "--access-log" {
         match args.next() {
-            Some(p) => trace_path = Some(p),
+            Some(p) if first == "--trace" => trace_path = Some(p),
+            Some(p) => access_path = Some(p),
             None => return fail(usage.into()),
         }
         None
@@ -70,6 +170,10 @@ fn main() -> ExitCode {
         match flag.as_str() {
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(p),
+                None => return fail(usage.into()),
+            },
+            "--access-log" => match args.next() {
+                Some(p) => access_path = Some(p),
                 None => return fail(usage.into()),
             },
             other => {
@@ -88,9 +192,18 @@ fn main() -> ExitCode {
         Some(Err(err)) => return fail(err),
         None => None,
     };
+    let access_summary = match access_path.as_deref().map(check_access_log) {
+        Some(Ok(summary)) => Some(summary),
+        Some(Err(err)) => return fail(err),
+        None => None,
+    };
     let Some(path) = path else {
-        // --trace only: the trace validated; there is no run log.
-        println!("validate_jsonl: OK — {}", trace_summary.expect("trace ran"));
+        // --trace/--access-log only: no run log to validate.
+        let summary: Vec<String> = [trace_summary, access_summary]
+            .into_iter()
+            .flatten()
+            .collect();
+        println!("validate_jsonl: OK — {}", summary.join(", "));
         return ExitCode::SUCCESS;
     };
 
@@ -215,7 +328,11 @@ fn main() -> ExitCode {
         events,
         cells.len(),
         episodes.map_or(String::new(), |m| format!(", {m} episodes/step")),
-        trace_summary.map_or(String::new(), |s| format!(", {s}")),
+        [trace_summary, access_summary]
+            .into_iter()
+            .flatten()
+            .map(|s| format!(", {s}"))
+            .collect::<String>(),
     );
     ExitCode::SUCCESS
 }

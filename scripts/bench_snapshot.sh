@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Records a perf-baseline snapshot (BENCH_*.json) from the timing
-# experiment, plus the Chrome trace it was measured under, so future
-# PRs can gate against it with `perf_diff` (DESIGN.md §5d).
+# Records a perf-baseline snapshot (BENCH_*.json) by chaining the
+# timing experiment and the serving experiment into one cumulative
+# `poisonrec-bench-v1` file (exp_timing writes the attack-loop metrics,
+# exp_serve seeds from them via --bench-base and appends the wire-path
+# p50/p95/p99 plus retrain-churn read latency), so future PRs can gate
+# against it with `perf_diff` (DESIGN.md §5d–e).
 #
 #   scripts/bench_snapshot.sh [OUT.json]
 #
-# OUT defaults to BENCH_PR4.json at the repo root. All workload knobs
+# OUT defaults to BENCH_PR5.json at the repo root. All workload knobs
 # are env-overridable so CI can run a tiny variant into a temp dir:
 #
 #   BENCH_SCALE=0.02 BENCH_STEPS=1 BENCH_EPISODES=4 BENCH_EVAL_USERS=32 \
@@ -17,13 +20,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 scale="${BENCH_SCALE:-0.05}"
 steps="${BENCH_STEPS:-3}"
 episodes="${BENCH_EPISODES:-8}"
 eval_users="${BENCH_EVAL_USERS:-128}"
 threads="${BENCH_THREADS:-4}"
 seed="${BENCH_SEED:-7}"
+# The over-the-wire replay pays one HTTP round-trip per eval user per
+# observation, so it gets its own (smaller) attack cell by default.
+serve_steps="${BENCH_SERVE_STEPS:-2}"
+serve_episodes="${BENCH_SERVE_EPISODES:-4}"
+serve_eval_users="${BENCH_SERVE_EVAL_USERS:-32}"
 work_dir="$(mktemp -d)"
 trap 'rm -rf "$work_dir"' EXIT
 
@@ -36,10 +44,21 @@ echo "==> exp_timing (scale=$scale steps=$steps episodes=$episodes seed=$seed)"
     --eval-users "$eval_users" --threads "$threads" --seed "$seed" \
     --out "$work_dir" \
     --trace "$work_dir/trace.json" \
+    --bench-json "$work_dir/BENCH_timing.json"
+
+echo "==> exp_serve (steps=$serve_steps episodes=$serve_episodes eval_users=$serve_eval_users)"
+SERVE_ACCESS_LOG="$work_dir/serve_access.jsonl" \
+./target/release/exp_serve \
+    --scale "$scale" --steps "$serve_steps" --episodes "$serve_episodes" \
+    --eval-users "$serve_eval_users" --threads "$threads" --seed "$seed" \
+    --rankers itempop \
+    --out "$work_dir" \
+    --bench-base "$work_dir/BENCH_timing.json" \
     --bench-json "$out"
 
-echo "==> validating the trace behind the snapshot"
-./target/release/validate_jsonl --trace "$work_dir/trace.json"
+echo "==> validating the trace and access log behind the snapshot"
+./target/release/validate_jsonl --trace "$work_dir/trace.json" \
+    --access-log "$work_dir/serve_access.jsonl"
 ./target/release/trace_report "$work_dir/trace.json" >/dev/null
 
 echo "==> perf_diff self-compare (a fresh snapshot must gate itself)"

@@ -15,10 +15,17 @@
 //! * [`poisonrec`] — the attack framework (LSTM+DNN policy, BCBT, PPO).
 //! * [`baselines`] — Random/Popular/Middle/PowerItem/ConsLOP/AppGrad.
 //! * [`analysis`] — t-SNE and reporting utilities.
+//! * [`serve`] — zero-dep HTTP/1.1 recommendation server; with
+//!   [`recsys::remote::RemoteSystem`], the attack runs over a socket.
+//! * [`runtime`] — worker pool, fault injection, snapshot publication.
+//! * [`telemetry`] — metrics, JSONL sinks, tracing, perf snapshots.
 
 pub use analysis;
 pub use baselines;
 pub use datasets;
 pub use poisonrec;
 pub use recsys;
+pub use runtime;
+pub use serve;
+pub use telemetry;
 pub use tensor;
