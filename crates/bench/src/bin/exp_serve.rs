@@ -1,33 +1,42 @@
 //! E-serve — the over-the-wire attack path and serving performance.
 //!
-//! Three phases against an in-process [`serve::Server`] bound to an
-//! OS-assigned port on 127.0.0.1 (all traffic crosses a real socket):
+//! Phases against in-process [`serve::Server`]s bound to OS-assigned
+//! ports on 127.0.0.1 (all traffic crosses a real socket):
 //!
 //! 1. **Attack replay** — one fig-4 cell (Steam × first ranker ×
 //!    BCBT-Popular) trained twice with identical seeds: once against
 //!    the in-process [`BlackBoxSystem`], once through
-//!    [`recsys::RemoteSystem`] against the served copy. The two reward
-//!    histories must be **bit-identical** — the server consumes the
-//!    same observation seed stream and serves through the same
-//!    snapshot read path.
-//! 2. **Load grid** — client-threads × k sweep of `GET /recommend`,
-//!    recording p50/p95/p99 seconds-per-request (lower-is-better, per
-//!    the `poisonrec-bench-v1` convention). Any non-200 fails the run.
-//! 3. **Retrain under load** — read latency p99 measured idle, then
-//!    again while a feedback→retrain loop churns generations. The
-//!    snapshot swap is wait-free for readers, so serving must not
-//!    stall; both numbers land in the snapshot for the perf gate.
+//!    [`recsys::RemoteSystem`] against a served copy at the *highest*
+//!    shard count. The two reward histories must be **bit-identical**
+//!    — sharding the serving state must not perturb the observation
+//!    seed stream (`tests/serve_attack.rs` additionally pins shards 1
+//!    and 4).
+//! 2. **Load grid** — connections × shards sweep of `GET /recommend`
+//!    (one server per shard count, one persistent keep-alive
+//!    connection per client thread), recording p50/p95/p99
+//!    seconds-per-request plus requests-per-connection. Dial counts
+//!    are asserted well below request counts: a grid that silently
+//!    reconnects per request understates keep-alive throughput.
+//! 3. **Idle keep-alive fleet** — `SERVE_IDLE_CONNS` connections held
+//!    open and idle (after `raise_nofile`) while a live client probes
+//!    `/healthz`; the event loop serves them all on a fixed thread
+//!    set, which the process thread count asserts.
+//! 4. **Retrain under load** — read p99 idle vs during a
+//!    feedback→retrain churn loop; snapshot publication is per-shard
+//!    atomic and wait-free for readers, so serving must not stall.
 //!
 //! Environment knobs (`ExpArgs` covers the attack cell; the grid is
 //! env-tuned so `scripts/ci.sh` can shrink it):
-//! `SERVE_THREADS_GRID` (default `1,2,4`), `SERVE_K_GRID` (default
-//! `1,5,10`), `SERVE_REQUESTS` per cell (default `200`),
+//! `SERVE_SHARDS_GRID` (default `1,4`), `SERVE_CONNS_GRID` (default
+//! `1,4,16`), `SERVE_REQUESTS` per cell (default `200`),
+//! `SERVE_IDLE_CONNS` (default `10000`, `0` disables),
 //! `SERVE_ACCESS_LOG` (default `<out>/serve_access.jsonl`).
 //!
 //! With `--bench-json FILE`, writes a `poisonrec-bench-v1` snapshot;
 //! `--bench-base FILE` seeds it with a prior snapshot's metrics so the
 //! chained `scripts/bench_snapshot.sh` produces one cumulative file.
 
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -68,38 +77,62 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-struct LoadCell {
-    threads: usize,
-    k: usize,
-    p50: f64,
-    p95: f64,
-    p99: f64,
+/// The processes' current thread count (Linux); `None` elsewhere.
+fn process_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
 }
 
-/// Hammers `GET /recommend` from `threads` persistent connections,
-/// `requests` total; returns sorted per-request latencies. Panics on
+struct LoadStats {
+    sorted: Vec<f64>,
+    /// TCP dials across all clients — healthy keep-alive keeps this at
+    /// one per connection.
+    dials: u64,
+    completed: u64,
+}
+
+/// Hammers `GET /recommend?k=10` from `conns` persistent keep-alive
+/// connections (one client thread each), `requests` total; returns
+/// sorted per-request latencies plus connection accounting. Panics on
 /// any non-200 — the load test's correctness half.
-fn run_load(addr: &str, threads: usize, k: usize, requests: usize, num_users: u32) -> Vec<f64> {
+fn run_load(addr: &str, conns: usize, requests: usize, num_users: u32) -> LoadStats {
     let non_200 = AtomicU64::new(0);
-    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+    let dials = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let mut sorted: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
             .map(|t| {
                 let non_200 = &non_200;
+                let dials = &dials;
+                let completed = &completed;
                 scope.spawn(move || {
                     let mut client = HttpClient::new(addr.to_string());
-                    let per_thread = requests / threads + usize::from(requests % threads > t);
+                    // The dial happens lazily on the first request;
+                    // warm the connection untimed so the latency
+                    // distribution measures keep-alive reads, not
+                    // connect handshakes.
+                    let (status, _) = client
+                        .request("GET", "/healthz", None)
+                        .expect("warmup request failed");
+                    assert_eq!(status, 200, "warmup request rejected");
+                    let per_thread = requests / conns + usize::from(requests % conns > t);
                     let mut out = Vec::with_capacity(per_thread);
                     for i in 0..per_thread {
                         let user = ((t * 7919 + i) as u32) % num_users;
                         let start = Instant::now();
                         let (status, _) = client
-                            .request("GET", &format!("/recommend/{user}?k={k}"), None)
+                            .request("GET", &format!("/recommend/{user}?k=10"), None)
                             .expect("load request failed");
                         out.push(start.elapsed().as_secs_f64());
                         if status != 200 {
                             non_200.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    dials.fetch_add(client.dials(), Ordering::Relaxed);
+                    completed.fetch_add(client.completed_requests(), Ordering::Relaxed);
                     out
                 })
             })
@@ -114,8 +147,41 @@ fn run_load(addr: &str, threads: usize, k: usize, requests: usize, num_users: u3
         0,
         "load test saw non-200 responses"
     );
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
-    latencies
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    LoadStats {
+        sorted,
+        dials: dials.load(Ordering::Relaxed),
+        completed: completed.load(Ordering::Relaxed),
+    }
+}
+
+struct GridCell {
+    shards: usize,
+    conns: usize,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    requests_per_conn: f64,
+}
+
+fn start_server(
+    args: &ExpArgs,
+    dataset: PaperDataset,
+    ranker: recsys::rankers::RankerKind,
+    shards: usize,
+    max_conns: usize,
+    access_log: Option<std::path::PathBuf>,
+) -> Server {
+    let system = args.build_system(dataset, ranker);
+    let mut builder = ServerConfig::builder()
+        .threads(4)
+        .shards(shards)
+        .max_conns(max_conns);
+    if let Some(path) = access_log {
+        builder = builder.access_log(path);
+    }
+    let cfg = builder.build().expect("valid server config");
+    Server::start(RecApp::new(system, None), cfg).expect("bind 127.0.0.1:0")
 }
 
 fn main() {
@@ -124,23 +190,28 @@ fn main() {
     let dataset = PaperDataset::Steam;
     let design = ActionSpaceKind::BcbtPopular;
 
-    let threads_grid = env_grid("SERVE_THREADS_GRID", &[1, 2, 4]);
-    let k_grid = env_grid("SERVE_K_GRID", &[1, 5, 10]);
+    let shards_grid = env_grid("SERVE_SHARDS_GRID", &[1, 4]);
+    let conns_grid = env_grid("SERVE_CONNS_GRID", &[1, 4, 16]);
     let requests = env_usize("SERVE_REQUESTS", 200);
+    let idle_conns_target = env_usize("SERVE_IDLE_CONNS", 10_000);
     let access_log = std::env::var("SERVE_ACCESS_LOG")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| args.out_dir.join("serve_access.jsonl"));
+    let max_shards = shards_grid.iter().copied().max().unwrap_or(1);
+    let max_conns_needed = conns_grid.iter().copied().max().unwrap_or(1) + idle_conns_target + 64;
 
     // ---- Phase 1: in-process reference run ------------------------------
     println!(
-        "phase 1: attack replay — {} × {} × {}, {} step(s) × {} episode(s)",
+        "phase 1: attack replay — {} × {} × {}, {} step(s) × {} episode(s), {} shard(s)",
         dataset.name(),
         ranker.name(),
         design.name(),
         args.steps,
-        args.episodes
+        args.episodes,
+        max_shards
     );
     let reference = args.build_system(dataset, ranker);
+    let num_users = reference.base().num_users();
     let local_trainer = args.train_poisonrec(&reference, design, 11);
     let local_history: Vec<(f32, f32)> = local_trainer
         .history()
@@ -148,123 +219,180 @@ fn main() {
         .map(|s| (s.mean_reward, s.max_reward))
         .collect();
 
-    // ---- Serve an identical system and attack it over the wire ---------
-    let served_system = args.build_system(dataset, ranker);
-    let num_users = served_system.base().num_users();
-    // Server pool sized for the widest load cell plus the attack/retrain
-    // connection: keep-alive connections pin a worker each.
-    let server_threads = threads_grid.iter().copied().max().unwrap_or(1) + 2;
-    let server = Server::start(
-        RecApp::new(served_system, None),
-        ServerConfig {
-            port: 0,
-            threads: server_threads,
-            access_log: Some(access_log.clone()),
-            fault_plan: None,
-            limits: serve::Limits::default(),
-        },
-    )
-    .expect("bind 127.0.0.1:0");
-    let addr = server.local_addr().to_string();
-    println!(
-        "serving on {addr} ({server_threads} worker(s)) — access log: {}",
-        access_log.display()
-    );
+    let mut cells: Vec<GridCell> = Vec::new();
+    let mut idle_summary: Option<(usize, f64, f64, u64)> = None;
+    let mut churn_summary = None;
 
-    let remote = RemoteSystem::connect(addr.clone()).expect("connect to served system");
-    let cfg = args.poisonrec_config(design, 11);
-    let mut remote_trainer = PoisonRecTrainer::new(cfg, &remote);
-    remote_trainer.train(&remote, args.steps);
-    let remote_history: Vec<(f32, f32)> = remote_trainer
-        .history()
-        .iter()
-        .map(|s| (s.mean_reward, s.max_reward))
-        .collect();
+    for (i, &shards) in shards_grid.iter().enumerate() {
+        let last = i + 1 == shards_grid.len();
+        let server = start_server(
+            &args,
+            dataset,
+            ranker,
+            shards,
+            max_conns_needed,
+            last.then(|| access_log.clone()),
+        );
+        let addr = server.local_addr().to_string();
+        println!(
+            "serving on {addr} — {} driver, {shards} shard(s)",
+            server.driver().name()
+        );
 
-    assert_eq!(
-        local_history, remote_history,
-        "over-the-wire attack diverged from the in-process run"
-    );
-    println!(
-        "phase 1 OK: {} step(s) bit-identical over the socket (final mean RecNum {:.1})",
-        local_history.len(),
-        local_history.last().map(|&(m, _)| m).unwrap_or(0.0)
-    );
+        // ---- Attack replay over the wire (highest shard count) ----------
+        if shards == max_shards {
+            let remote = RemoteSystem::connect(addr.clone()).expect("connect to served system");
+            assert_eq!(remote.shards(), shards, "server must disclose its shards");
+            let cfg = args.poisonrec_config(design, 11);
+            let mut remote_trainer = PoisonRecTrainer::new(cfg, &remote);
+            remote_trainer.train(&remote, args.steps);
+            let remote_history: Vec<(f32, f32)> = remote_trainer
+                .history()
+                .iter()
+                .map(|s| (s.mean_reward, s.max_reward))
+                .collect();
+            assert_eq!(
+                local_history, remote_history,
+                "over-the-wire attack diverged from the in-process run at {shards} shard(s)"
+            );
+            println!(
+                "phase 1 OK: {} step(s) bit-identical over the socket (final mean RecNum {:.1})",
+                local_history.len(),
+                local_history.last().map(|&(m, _)| m).unwrap_or(0.0)
+            );
+        }
 
-    // ---- Phase 2: load grid --------------------------------------------
-    println!(
-        "phase 2: load grid — threads {threads_grid:?} × k {k_grid:?} × {requests} request(s)"
-    );
-    let mut cells: Vec<LoadCell> = Vec::new();
-    for &threads in &threads_grid {
-        for &k in &k_grid {
-            let sorted = run_load(&addr, threads, k, requests, num_users);
-            let cell = LoadCell {
-                threads,
-                k,
-                p50: percentile(&sorted, 0.50),
-                p95: percentile(&sorted, 0.95),
-                p99: percentile(&sorted, 0.99),
+        // ---- Phase 2: load grid (persistent connections per cell) -------
+        println!(
+            "phase 2: load grid — shards {shards} × conns {conns_grid:?} × {requests} request(s)"
+        );
+        for &conns in &conns_grid {
+            let stats = run_load(&addr, conns, requests, num_users);
+            // The keep-alive contract this grid exists to measure:
+            // reconnect-per-request would put dials ≈ requests.
+            assert!(
+                stats.dials < stats.completed.max(2),
+                "load grid reconnected per request ({} dials / {} requests)",
+                stats.dials,
+                stats.completed
+            );
+            let cell = GridCell {
+                shards,
+                conns,
+                p50: percentile(&stats.sorted, 0.50),
+                p95: percentile(&stats.sorted, 0.95),
+                p99: percentile(&stats.sorted, 0.99),
+                requests_per_conn: stats.completed as f64 / stats.dials.max(1) as f64,
             };
             println!(
-                "  t={} k={:>3}: p50 {:.6}s  p95 {:.6}s  p99 {:.6}s",
-                cell.threads, cell.k, cell.p50, cell.p95, cell.p99
+                "  s={} c={:>3}: p50 {:.6}s  p95 {:.6}s  p99 {:.6}s  ({:.0} req/conn)",
+                cell.shards, cell.conns, cell.p50, cell.p95, cell.p99, cell.requests_per_conn
             );
             cells.push(cell);
         }
-    }
 
-    // ---- Phase 3: retrain under load -----------------------------------
-    println!("phase 3: read p99 idle vs during retrain churn");
-    let probe_threads = 2.min(threads_grid.iter().copied().max().unwrap_or(1));
-    let idle = run_load(&addr, probe_threads, 10, requests, num_users);
-    let idle_p99 = percentile(&idle, 0.99);
-
-    let stop = std::sync::atomic::AtomicBool::new(false);
-    let (under_p99, retrains) = std::thread::scope(|scope| {
-        let stop_ref = &stop;
-        let addr_ref = addr.as_str();
-        let churn = scope.spawn(move || {
-            let mut client = HttpClient::new(addr_ref.to_string());
-            let feedback = Json::obj().field(
-                "trajectories",
-                Json::Arr(vec![Json::Arr(vec![
-                    Json::from(1u32),
-                    Json::from(2u32),
-                    Json::from(3u32),
-                ])]),
-            );
-            let mut retrains = 0u64;
-            while !stop_ref.load(Ordering::Relaxed) {
-                let (status, _) = client
-                    .request("POST", "/feedback", Some(&feedback))
-                    .expect("churn feedback");
-                assert_eq!(status, 200, "churn feedback rejected");
-                let (status, _) = client
-                    .request("POST", "/retrain", None)
-                    .expect("churn retrain");
-                assert_eq!(status, 200, "churn retrain rejected");
-                retrains += 1;
+        // ---- Phases 3+4 on the last (widest) server ---------------------
+        if last {
+            if idle_conns_target > 0 {
+                // Client + server fds live in this one process.
+                let budget =
+                    serve::raise_nofile((2 * idle_conns_target + 4096) as u64).unwrap_or(1024);
+                let idle_target = idle_conns_target.min((budget.saturating_sub(2048) / 2) as usize);
+                println!("phase 3: holding {idle_target} idle keep-alive connection(s) (fd budget {budget})");
+                let mut fleet = Vec::with_capacity(idle_target);
+                for _ in 0..idle_target {
+                    fleet.push(TcpStream::connect(&addr).expect("idle connect"));
+                }
+                // Let the poller absorb the accept burst before probing.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                let probe = run_load(&addr, 2, requests.max(50), num_users);
+                let threads_now = process_threads().unwrap_or(0);
+                if threads_now > 0 {
+                    assert!(
+                        (threads_now as usize) < idle_target.max(64),
+                        "thread count {threads_now} scales with connections"
+                    );
+                }
+                println!(
+                    "  live /recommend under {} idle conns: p50 {:.6}s p99 {:.6}s ({} process thread(s))",
+                    fleet.len(),
+                    percentile(&probe.sorted, 0.50),
+                    percentile(&probe.sorted, 0.99),
+                    threads_now
+                );
+                idle_summary = Some((
+                    fleet.len(),
+                    percentile(&probe.sorted, 0.50),
+                    percentile(&probe.sorted, 0.99),
+                    threads_now,
+                ));
+                drop(fleet);
+                // Dropping the fleet floods the loop with FINs; wait
+                // for the teardown storm to clear so phase 4 measures
+                // an idle server, not connection teardown.
+                let settle = std::time::Instant::now();
+                while server.active_connections() > 0
+                    && settle.elapsed() < std::time::Duration::from_secs(10)
+                {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
             }
-            retrains
-        });
-        let under = run_load(&addr, probe_threads, 10, requests, num_users);
-        stop.store(true, Ordering::Relaxed);
-        let retrains = churn.join().expect("churn thread");
-        (percentile(&under, 0.99), retrains)
-    });
-    println!("  idle p99 {idle_p99:.6}s — during {retrains} retrain(s) p99 {under_p99:.6}s");
 
-    // ---- Shutdown ledger ------------------------------------------------
-    let final_generation = server.generation();
-    let stats = server.shutdown();
-    println!(
-        "shutdown: accepted {} / completed {} / dropped {} (generation {final_generation})",
-        stats.accepted,
-        stats.completed,
-        stats.dropped()
-    );
-    assert_eq!(stats.dropped(), 0, "graceful shutdown dropped requests");
+            println!("phase 4: read p99 idle vs during retrain churn");
+            let probe_conns = 2;
+            let idle = run_load(&addr, probe_conns, requests, num_users);
+            let idle_p99 = percentile(&idle.sorted, 0.99);
+
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let (under_p99, retrains) = std::thread::scope(|scope| {
+                let stop_ref = &stop;
+                let addr_ref = addr.as_str();
+                let churn = scope.spawn(move || {
+                    let mut client = HttpClient::new(addr_ref.to_string());
+                    let feedback = Json::obj().field(
+                        "trajectories",
+                        Json::Arr(vec![Json::Arr(vec![
+                            Json::from(1u32),
+                            Json::from(2u32),
+                            Json::from(3u32),
+                        ])]),
+                    );
+                    let mut retrains = 0u64;
+                    while !stop_ref.load(Ordering::Relaxed) {
+                        let (status, _) = client
+                            .request("POST", "/feedback", Some(&feedback))
+                            .expect("churn feedback");
+                        assert_eq!(status, 200, "churn feedback rejected");
+                        let (status, _) = client
+                            .request("POST", "/retrain", None)
+                            .expect("churn retrain");
+                        assert_eq!(status, 200, "churn retrain rejected");
+                        retrains += 1;
+                    }
+                    retrains
+                });
+                let under = run_load(&addr, probe_conns, requests, num_users);
+                stop.store(true, Ordering::Relaxed);
+                let retrains = churn.join().expect("churn thread");
+                (percentile(&under.sorted, 0.99), retrains)
+            });
+            println!(
+                "  idle p99 {idle_p99:.6}s — during {retrains} retrain(s) p99 {under_p99:.6}s"
+            );
+            churn_summary = Some((idle_p99, under_p99));
+        }
+
+        // ---- Shutdown ledger --------------------------------------------
+        let final_generation = server.generation();
+        let stats = server.shutdown();
+        println!(
+            "shutdown (shards {shards}): accepted {} / completed {} / dropped {} (generation {final_generation})",
+            stats.accepted,
+            stats.completed,
+            stats.dropped()
+        );
+        assert_eq!(stats.dropped(), 0, "graceful shutdown dropped requests");
+    }
 
     // ---- Bench snapshot -------------------------------------------------
     if let Some(path) = &args.bench_json {
@@ -280,13 +408,26 @@ fn main() {
             None => BenchSnapshot::new("serve"),
         };
         for cell in &cells {
-            let prefix = format!("serve/t{}/k{}", cell.threads, cell.k);
+            let prefix = format!("serve/s{}/c{}", cell.shards, cell.conns);
             snapshot.push(format!("{prefix}/p50_secs"), cell.p50, "s");
             snapshot.push(format!("{prefix}/p95_secs"), cell.p95, "s");
             snapshot.push(format!("{prefix}/p99_secs"), cell.p99, "s");
+            snapshot.push(
+                format!("{prefix}/requests_per_conn"),
+                cell.requests_per_conn,
+                "req/conn",
+            );
         }
-        snapshot.push("serve/retrain_idle_read_p99_secs", idle_p99, "s");
-        snapshot.push("serve/retrain_churn_read_p99_secs", under_p99, "s");
+        if let Some((held, p50, p99, threads_now)) = idle_summary {
+            snapshot.push("serve/idle_keepalive_conns", held as f64, "conn");
+            snapshot.push("serve/idle_keepalive_read_p50_secs", p50, "s");
+            snapshot.push("serve/idle_keepalive_read_p99_secs", p99, "s");
+            snapshot.push("serve/idle_keepalive_threads", threads_now as f64, "thread");
+        }
+        if let Some((idle_p99, under_p99)) = churn_summary {
+            snapshot.push("serve/retrain_idle_read_p99_secs", idle_p99, "s");
+            snapshot.push("serve/retrain_churn_read_p99_secs", under_p99, "s");
+        }
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent).expect("bench output dir");

@@ -45,6 +45,7 @@ pub mod defense;
 pub mod eval;
 pub mod rankers;
 pub mod remote;
+pub mod shard;
 pub mod snapshot;
 pub mod system;
 

@@ -79,6 +79,10 @@ pub struct HttpClient {
     addr: String,
     stream: Option<BufReader<TcpStream>>,
     read_timeout: Duration,
+    /// TCP connections dialed over this client's lifetime.
+    dials: u64,
+    /// Requests that received a fully-framed response.
+    completed: u64,
 }
 
 impl HttpClient {
@@ -89,7 +93,21 @@ impl HttpClient {
             addr: addr.into(),
             stream: None,
             read_timeout: Duration::from_secs(30),
+            dials: 0,
+            completed: 0,
         }
+    }
+
+    /// Connections dialed so far — with healthy keep-alive this stays
+    /// at 1 no matter how many requests flow (the bench reports
+    /// `completed_requests() / dials()` as requests-per-connection).
+    pub fn dials(&self) -> u64 {
+        self.dials
+    }
+
+    /// Requests that received a complete, well-framed response.
+    pub fn completed_requests(&self) -> u64 {
+        self.completed
     }
 
     /// Overrides the per-response read timeout (default 30 s).
@@ -104,6 +122,7 @@ impl HttpClient {
             stream.set_nodelay(true)?;
             stream.set_read_timeout(Some(self.read_timeout))?;
             self.stream = Some(BufReader::new(stream));
+            self.dials += 1;
         }
         Ok(self.stream.as_mut().expect("just connected"))
     }
@@ -163,6 +182,7 @@ impl HttpClient {
             self.stream = None;
         }
         let (status, close, text) = result?;
+        self.completed += 1;
         if close {
             self.stream = None;
         }
@@ -260,6 +280,11 @@ pub struct RemoteSystem {
     targets: HashSet<ItemId>,
     eval_users: Vec<UserId>,
     ranker: String,
+    /// Serving-side shard count from `/info` (1 when the server
+    /// predates sharding). Purely informational to the attack — shard
+    /// layout never changes responses — but the bench load generator
+    /// uses it to shape per-shard traffic.
+    shards: usize,
     /// Mirror of the server's seed-stream position, advanced by each
     /// retrain response (the server is the authority; this lets
     /// `observations_spent` answer without a round trip).
@@ -302,6 +327,10 @@ impl RemoteSystem {
             .ok_or_else(|| RemoteError::Protocol("missing ranker name".into()))?
             .to_string();
         let observed = expect_u64(&info, "observations_spent")?;
+        let shards = info
+            .get("shards")
+            .and_then(Json::as_u64)
+            .map_or(1, |n| n.max(1) as usize);
         Ok(Self {
             client: Mutex::new(client),
             cfg,
@@ -309,6 +338,7 @@ impl RemoteSystem {
             targets: target_items.into_iter().collect(),
             eval_users,
             ranker,
+            shards,
             observed: AtomicU64::new(observed),
         })
     }
@@ -316,6 +346,11 @@ impl RemoteSystem {
     /// The users the served protocol polls (fetched from `/info`).
     pub fn eval_users(&self) -> &[UserId] {
         &self.eval_users
+    }
+
+    /// The server's shard count (1 for unsharded servers).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     fn expect_200(

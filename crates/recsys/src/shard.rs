@@ -1,0 +1,53 @@
+//! Shard ownership for sharded serving state (DESIGN.md §5f).
+//!
+//! The serving layer partitions per-user read state across `n` shards
+//! so independent connections contend on independent snapshot cells.
+//! This module is the *single* definition of that mapping — the server
+//! (cell selection), the access log (shard field), and the bench
+//! clients (per-shard load shaping) must all agree on it, so none of
+//! them may hash locally.
+//!
+//! The mapping is deliberately the simplest stable function of the
+//! user id: `user % n`. User ids are dense (datasets renumber them
+//! from 0), so modulo spreads load uniformly without a hash, and the
+//! mapping is independent of everything but `n` — resharding a server
+//! never changes which *data* a user sees, only which cell serves it,
+//! which is what keeps attack replays bit-identical at any shard
+//! count.
+
+use crate::data::UserId;
+
+/// The shard that owns `user` out of `n_shards` (clamped to ≥ 1).
+pub fn shard_for_user(user: UserId, n_shards: usize) -> usize {
+    (user as usize) % n_shards.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_ownership_is_stable_and_total() {
+        assert_eq!(shard_for_user(0, 4), 0);
+        assert_eq!(shard_for_user(7, 4), 3);
+        assert_eq!(shard_for_user(8, 4), 0);
+        // Every user maps into range for any shard count.
+        for n in 1..9 {
+            for user in 0..100u32 {
+                assert!(shard_for_user(user, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped() {
+        assert_eq!(shard_for_user(42, 0), 0);
+    }
+
+    #[test]
+    fn single_shard_owns_everyone() {
+        for user in [0u32, 1, 999, u32::MAX] {
+            assert_eq!(shard_for_user(user, 1), 0);
+        }
+    }
+}

@@ -50,7 +50,25 @@ pub mod fault;
 pub mod swap;
 
 pub use fault::{FaultPlan, FAULT_EXIT_CODE};
-pub use swap::{Published, ReadGuard};
+pub use swap::{Published, ReadGuard, ShardedPublished};
+
+/// Something an off-thread task can nudge when it finishes — typically
+/// an event loop parked in a poller. Implementations must be cheap,
+/// idempotent, and panic-free (a waker that panics would unseat the
+/// pool worker's unwind containment).
+pub trait Wake: Send + Sync {
+    fn wake(&self);
+}
+
+/// Fires the waker exactly once on drop — the task completion signal
+/// survives panics inside the task body.
+struct WakeOnDrop(Arc<dyn Wake>);
+
+impl Drop for WakeOnDrop {
+    fn drop(&mut self) {
+        self.0.wake();
+    }
+}
 
 /// A job as the pool queue sees it: a type- and lifetime-erased runner.
 type QueueTask = Box<dyn FnOnce() + Send + 'static>;
@@ -236,6 +254,18 @@ impl WorkerPool {
         telemetry::metrics::gauge("runtime_queue_depth").add(1);
         drop(queue);
         self.shared.work_ready.notify_one();
+    }
+
+    /// Like [`WorkerPool::spawn`], but guarantees `waker.wake()` fires
+    /// after the task settles — completion or panic alike. The serving
+    /// event loop hands its poller waker here so a handler finishing on
+    /// a pool worker always kicks the parked loop, even when the
+    /// handler's unwind boundary just absorbed a panic.
+    pub fn spawn_waking(&self, task: impl FnOnce() + Send + 'static, waker: Arc<dyn Wake>) {
+        self.spawn(move || {
+            let _wake = WakeOnDrop(waker);
+            task();
+        });
     }
 
     /// Runs `jobs` with at most `threads` of them in flight at once,
@@ -538,6 +568,42 @@ mod tests {
         assert!(panics.get() > before, "detached panic was never recorded");
         // The worker survives: batches still run on it afterwards.
         assert_eq!(pool.run(2, jobs_squaring(5)), vec![0, 1, 4, 9, 16]);
+    }
+
+    struct CountingWaker(AtomicUsize);
+
+    impl Wake for CountingWaker {
+        fn wake(&self) {
+            self.0.fetch_add(1, Relaxed);
+        }
+    }
+
+    #[test]
+    fn spawn_waking_fires_the_waker_after_the_task() {
+        let waker = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            let witness = Arc::clone(&ran);
+            pool.spawn_waking(
+                move || {
+                    witness.fetch_add(1, Relaxed);
+                },
+                Arc::clone(&waker) as Arc<dyn Wake>,
+            );
+        }
+        assert_eq!(ran.load(Relaxed), 1);
+        assert_eq!(waker.0.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn spawn_waking_fires_even_when_the_task_panics() {
+        let waker = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        {
+            let pool = WorkerPool::new(1);
+            pool.spawn_waking(|| panic!("boom"), Arc::clone(&waker) as Arc<dyn Wake>);
+        }
+        assert_eq!(waker.0.load(Relaxed), 1, "wake must survive the panic");
     }
 
     #[test]

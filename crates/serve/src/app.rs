@@ -1,23 +1,40 @@
-//! The recommendation application behind the socket: routing, the
-//! published snapshot, the pending-feedback buffer, and retrains.
+//! The recommendation application behind the socket: typed routing,
+//! sharded published snapshots, the pending-feedback buffers, and
+//! retrains.
 //!
-//! [`RecApp`] is transport-free — it maps parsed [`Request`]s to JSON
+//! [`RecApp`] is transport-free — it maps parsed [`Route`]s to JSON
 //! responses — so its semantics are unit-testable without a listener.
 //!
-//! Concurrency model (DESIGN.md §5e):
+//! ## Routing
+//!
+//! [`Route::parse`] is the **only** place 404/405/400 decisions are
+//! made: it turns `(method, path, query)` into a typed [`Route`] or a
+//! [`RouteError`] carrying the response status. [`RecApp::dispatch`]
+//! then handles a `Route` without ever re-inspecting path strings —
+//! which is what lets the event loop classify a request (fast/slow,
+//! owning shard) before deciding where to run it.
+//!
+//! ## Concurrency model (DESIGN.md §5f)
 //!
 //! * **Reads never wait.** `/recommend`, `/healthz`, `/info` and
-//!   `/metrics` touch only the [`runtime::Published`] snapshot cell —
-//!   a lock-free hazard-pointer read — plus immutable state.
-//! * **Retrains happen off to the side.** `POST /retrain` drains the
-//!   pending feedback, fine-tunes a fresh [`RankerSnapshot`] while the
-//!   previous generation keeps serving, then publishes it with one
-//!   atomic swap. A `Mutex` serializes concurrent retrains (the seed
-//!   stream is consumed per retrain, so they must be ordered), but no
-//!   reader ever takes it.
+//!   `/metrics` touch only a [`runtime::ShardedPublished`] snapshot
+//!   cell — a lock-free hazard-pointer read — plus immutable state.
+//!   A user's cell is `shard_for_user(user, n_shards)`, so readers on
+//!   different shards contend on different cache lines.
 //! * **Feedback is buffered, not applied.** `POST /feedback` admits
-//!   trajectories into a pending buffer (optionally through a
-//!   calibrated [`OnlineFilter`]); only a retrain makes them visible.
+//!   trajectories under one brief admission lock (budget check + a
+//!   global arrival sequence), then spreads them across per-shard
+//!   queues keyed by sequence number; only a retrain makes them
+//!   visible.
+//! * **Retrains happen off to the side.** `POST /retrain` drains every
+//!   shard queue, merges by arrival sequence — reconstructing the
+//!   exact single-queue order, which is why replayed attacks are
+//!   bit-identical at *any* shard count — fine-tunes a fresh
+//!   [`RankerSnapshot`] while the previous generation keeps serving,
+//!   then publishes the same `Arc` into every shard cell, one atomic
+//!   swap per cell. A `Mutex` serializes concurrent retrains (the
+//!   seed stream is consumed per retrain), but no reader ever takes
+//!   it.
 //!
 //! This mirrors the in-process [`BlackBoxSystem`] exactly: one
 //! feedback-then-retrain round trip consumes one observation-seed
@@ -30,28 +47,131 @@ use std::sync::Mutex;
 
 use recsys::data::Trajectory;
 use recsys::defense::OnlineFilter;
+use recsys::shard::shard_for_user;
 use recsys::snapshot::RankerSnapshot;
 use recsys::system::BlackBoxSystem;
-use runtime::Published;
+use runtime::ShardedPublished;
 use telemetry::json::{self, Json};
 
 use crate::http::Request;
 
+/// A parsed, typed request target. Everything downstream of parsing
+/// dispatches on this — never on path strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    Healthz,
+    Metrics,
+    Info,
+    Feedback,
+    Retrain,
+    Recommend {
+        user: u32,
+        /// `?k=` when given; `None` means the system's configured top-k.
+        k: Option<usize>,
+    },
+}
+
+/// A routing rejection: the status plus the message for the body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl RouteError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// `?k=` values past this are rejected as 400 (a list longer than any
+/// catalog is a client bug, not a big ask).
+const MAX_K: usize = 10_000;
+
+impl Route {
+    /// The single source of 404/405/400 decisions: an unknown path is
+    /// 404, a known path with the wrong method 405, a malformed user
+    /// id or `k` 400.
+    pub fn parse(
+        method: &str,
+        path: &str,
+        query: &[(String, String)],
+    ) -> Result<Route, RouteError> {
+        let route = match path {
+            "/healthz" => Some(Route::Healthz),
+            "/metrics" => Some(Route::Metrics),
+            "/info" => Some(Route::Info),
+            "/feedback" => Some(Route::Feedback),
+            "/retrain" => Some(Route::Retrain),
+            _ => None,
+        };
+        if let Some(route) = route {
+            let allowed = match route {
+                Route::Feedback | Route::Retrain => "POST",
+                _ => "GET",
+            };
+            if method != allowed {
+                return Err(RouteError::new(405, "method not allowed for this route"));
+            }
+            return Ok(route);
+        }
+        if let Some(user_str) = path.strip_prefix("/recommend/") {
+            if method != "GET" {
+                return Err(RouteError::new(405, "method not allowed for this route"));
+            }
+            let Ok(user) = user_str.parse::<u32>() else {
+                return Err(RouteError::new(400, format!("bad user id {user_str:?}")));
+            };
+            let k = match query.iter().find(|(name, _)| name == "k") {
+                None => None,
+                Some((_, raw)) => match raw.parse::<usize>() {
+                    Ok(k) if k <= MAX_K => Some(k),
+                    _ => return Err(RouteError::new(400, format!("bad k {raw:?}"))),
+                },
+            };
+            return Ok(Route::Recommend { user, k });
+        }
+        Err(RouteError::new(404, format!("no route for {path}")))
+    }
+
+    /// Fast routes are answered inline on the event loop (lock-free
+    /// snapshot reads); slow ones are offloaded to the worker set.
+    pub fn is_fast(&self) -> bool {
+        !matches!(self, Route::Feedback | Route::Retrain)
+    }
+
+    /// The shard whose snapshot cell answers this route, given the
+    /// serving shard count. Non-recommend routes read shard 0.
+    pub fn shard(&self, n_shards: usize) -> usize {
+        match self {
+            Route::Recommend { user, .. } => shard_for_user(*user, n_shards),
+            _ => 0,
+        }
+    }
+}
+
 /// A routed response: status + JSON body, tagged with the snapshot
-/// generation that answered (for the access log).
+/// generation and owning shard that answered (for the access log).
 #[derive(Debug)]
 pub struct AppResponse {
     pub status: u16,
     pub body: Json,
     pub generation: u64,
+    /// The shard whose snapshot cell served the response (0 for
+    /// routes that are not per-user).
+    pub shard: u64,
 }
 
 impl AppResponse {
-    fn ok(body: Json, generation: u64) -> Self {
+    fn ok(body: Json, generation: u64, shard: u64) -> Self {
         Self {
             status: 200,
             body,
             generation,
+            shard,
         }
     }
 
@@ -60,18 +180,36 @@ impl AppResponse {
             status,
             body: Json::obj().field("error", message.into()),
             generation,
+            shard: 0,
         }
     }
+}
+
+/// One admitted trajectory, tagged with its global arrival sequence so
+/// per-shard queues can be merged back into exact admission order.
+type SeqTrajectory = (u64, Trajectory);
+
+/// Admission bookkeeping, held briefly by feedback and retrain.
+struct Admission {
+    /// Next global arrival sequence number.
+    next_seq: u64,
+    /// Trajectories admitted but not yet retrained, across all shards.
+    held: u64,
 }
 
 /// Shared server state: the system under attack plus serving-side
 /// buffers. All methods take `&self`; the struct is `Sync`.
 pub struct RecApp {
     system: BlackBoxSystem,
-    /// The live generation; swapped atomically by retrains.
-    snapshot: Published<RankerSnapshot>,
-    /// Feedback admitted but not yet retrained into a generation.
-    pending: Mutex<Vec<Trajectory>>,
+    /// The live generation, one cell per shard; all cells swap to the
+    /// same `Arc` on retrain.
+    snapshots: ShardedPublished<RankerSnapshot>,
+    /// Feedback admitted but not yet retrained, sharded by arrival
+    /// sequence (`seq % n_shards` — each injected trajectory is a
+    /// synthetic user, its sequence number its identity).
+    pending: Vec<Mutex<Vec<SeqTrajectory>>>,
+    /// Guards the attacker budget and the arrival sequence.
+    admission: Mutex<Admission>,
     /// Serializes retrains: each consumes one seed ordinal, so their
     /// order must be total even under concurrent `POST /retrain`.
     retrain: Mutex<()>,
@@ -82,22 +220,54 @@ pub struct RecApp {
 
 impl RecApp {
     /// Wraps a fitted system, publishing its clean generation-0
-    /// snapshot. `defense` rejects flagged feedback at ingestion.
+    /// snapshot into a single shard. `defense` rejects flagged
+    /// feedback at ingestion. Use [`RecApp::reshard`] to spread state.
     pub fn new(system: BlackBoxSystem, defense: Option<OnlineFilter>) -> Self {
-        let snapshot = Published::new(std::sync::Arc::new(system.clean_snapshot()));
+        let snapshot = std::sync::Arc::new(system.clean_snapshot());
         Self {
             system,
-            snapshot,
-            pending: Mutex::new(Vec::new()),
+            snapshots: ShardedPublished::new(1, snapshot),
+            pending: vec![Mutex::new(Vec::new())],
+            admission: Mutex::new(Admission {
+                next_seq: 0,
+                held: 0,
+            }),
             retrain: Mutex::new(()),
             defense,
             flagged_total: AtomicU64::new(0),
         }
     }
 
-    /// The generation currently being served.
+    /// Repartitions serving state across `n` shards (clamped to ≥ 1).
+    /// The live snapshot and any pending feedback are redistributed;
+    /// semantics are unchanged — sharding only moves *which cell*
+    /// serves a user and *which queue* holds a trajectory.
+    pub fn reshard(&mut self, n: usize) {
+        let n = n.max(1);
+        let snapshot = self.snapshots.shard(0).load();
+        self.snapshots = ShardedPublished::new(n, snapshot);
+        let mut held: Vec<SeqTrajectory> = self
+            .pending
+            .iter_mut()
+            .flat_map(|queue| std::mem::take(queue.get_mut().unwrap()))
+            .collect();
+        held.sort_unstable_by_key(|&(seq, _)| seq);
+        let mut queues: Vec<Vec<SeqTrajectory>> = (0..n).map(|_| Vec::new()).collect();
+        for (seq, traj) in held {
+            queues[(seq % n as u64) as usize].push((seq, traj));
+        }
+        self.pending = queues.into_iter().map(Mutex::new).collect();
+    }
+
+    /// The serving shard count.
+    pub fn n_shards(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// The generation currently being served (shard 0 — all shards
+    /// converge to the same generation between retrains).
     pub fn generation(&self) -> u64 {
-        self.snapshot.read().generation()
+        self.snapshots.read(0).generation()
     }
 
     /// The wrapped system (tests compare against its in-process path).
@@ -105,41 +275,49 @@ impl RecApp {
         &self.system
     }
 
-    /// Routes one parsed request. Never blocks on a retrain for read
-    /// paths; never panics on client input (panics that do escape are
-    /// the *server's* bugs, and the connection layer converts them to
+    /// Routes one parsed request: [`Route::parse`] then
+    /// [`RecApp::dispatch`]. Never blocks on a retrain for read paths;
+    /// never panics on client input (panics that do escape are the
+    /// *server's* bugs, and the connection layer converts them to
     /// 500s).
     pub fn handle(&self, req: &Request) -> AppResponse {
-        match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => self.healthz(),
-            ("GET", "/metrics") => self.metrics(),
-            ("GET", "/info") => self.info(),
-            ("POST", "/feedback") => self.feedback(req),
-            ("POST", "/retrain") => self.retrain(),
-            ("GET", path) if path.starts_with("/recommend/") => self.recommend(req, path),
-            (_, "/healthz" | "/metrics" | "/info") => self.method_not_allowed(),
-            (_, "/feedback" | "/retrain") => self.method_not_allowed(),
-            (_, path) if path.starts_with("/recommend/") => self.method_not_allowed(),
-            _ => AppResponse::error(404, format!("no route for {}", req.path), self.generation()),
+        match Route::parse(&req.method, &req.path, &req.query) {
+            Ok(route) => self.dispatch(&route, &req.body),
+            Err(err) => AppResponse::error(err.status, err.message, self.generation()),
         }
     }
 
-    fn method_not_allowed(&self) -> AppResponse {
-        AppResponse::error(405, "method not allowed for this route", self.generation())
+    /// Handles one typed route. `body` is consulted only by
+    /// [`Route::Feedback`].
+    pub fn dispatch(&self, route: &Route, body: &[u8]) -> AppResponse {
+        match route {
+            Route::Healthz => self.healthz(),
+            Route::Metrics => self.metrics(),
+            Route::Info => self.info(),
+            Route::Feedback => self.feedback(body),
+            Route::Retrain => self.retrain(),
+            Route::Recommend { user, k } => self.recommend(*user, *k),
+        }
     }
 
     fn healthz(&self) -> AppResponse {
-        let snap = self.snapshot.read();
+        let snap = self.snapshots.read(0);
         AppResponse::ok(
             Json::obj()
                 .field("ok", true)
-                .field("generation", snap.generation()),
+                .field("generation", snap.generation())
+                .field("shards", self.n_shards()),
             snap.generation(),
+            0,
         )
     }
 
     fn metrics(&self) -> AppResponse {
-        AppResponse::ok(telemetry::metrics::snapshot().to_json(), self.generation())
+        AppResponse::ok(
+            telemetry::metrics::snapshot().to_json(),
+            self.generation(),
+            0,
+        )
     }
 
     /// The experimenter-side disclosure: everything an in-process
@@ -147,7 +325,7 @@ impl RecApp {
     fn info(&self) -> AppResponse {
         let cfg = self.system.config();
         let info = self.system.public_info();
-        let snap = self.snapshot.read();
+        let snap = self.snapshots.read(0);
         let body = Json::obj()
             .field("num_items", info.num_items)
             .field(
@@ -180,6 +358,7 @@ impl RecApp {
             )
             .field("ranker", self.system.ranker_name())
             .field("generation", snap.generation())
+            .field("shards", self.n_shards())
             .field("observations_spent", self.system.observations_spent())
             .field(
                 "defense",
@@ -191,25 +370,14 @@ impl RecApp {
                     None => Json::Null,
                 },
             );
-        AppResponse::ok(body, snap.generation())
+        AppResponse::ok(body, snap.generation(), 0)
     }
 
-    fn recommend(&self, req: &Request, path: &str) -> AppResponse {
-        let snap = self.snapshot.read();
+    fn recommend(&self, user: u32, k: Option<usize>) -> AppResponse {
+        let shard = shard_for_user(user, self.n_shards());
+        let snap = self.snapshots.read(shard);
         let generation = snap.generation();
-        let user_str = &path["/recommend/".len()..];
-        let Ok(user) = user_str.parse::<u32>() else {
-            return AppResponse::error(400, format!("bad user id {user_str:?}"), generation);
-        };
-        let k = match req.query_param("k") {
-            None => self.system.config().top_k,
-            Some(raw) => match raw.parse::<usize>() {
-                Ok(k) if k <= 10_000 => k,
-                _ => {
-                    return AppResponse::error(400, format!("bad k {raw:?}"), generation);
-                }
-            },
-        };
+        let k = k.unwrap_or(self.system.config().top_k);
         if !snap.knows_user(user) {
             return AppResponse::error(404, format!("unknown user {user}"), generation);
         }
@@ -225,15 +393,16 @@ impl RecApp {
                     Json::Arr(items.into_iter().map(Json::from).collect()),
                 ),
             generation,
+            shard as u64,
         )
     }
 
-    /// Admits trajectories into the pending buffer. The whole batch is
-    /// validated before any of it is admitted, so a 4xx/409 response
-    /// means the buffer is untouched.
-    fn feedback(&self, req: &Request) -> AppResponse {
+    /// Admits trajectories into the pending buffers. The whole batch
+    /// is validated before any of it is admitted, so a 4xx/409
+    /// response means the buffers are untouched.
+    fn feedback(&self, body: &[u8]) -> AppResponse {
         let generation = self.generation();
-        let Ok(text) = std::str::from_utf8(&req.body) else {
+        let Ok(text) = std::str::from_utf8(body) else {
             return AppResponse::error(400, "body is not UTF-8", generation);
         };
         let Ok(doc) = json::parse(text) else {
@@ -289,44 +458,71 @@ impl RecApp {
             telemetry::metrics::counter("serve_feedback_flagged_total").add(flagged);
         }
 
+        // One brief admission section: budget check, sequence
+        // assignment, and the queue pushes — so a 409 means nothing
+        // was admitted, and sequences are dense in admission order.
         let budget = u64::from(self.system.config().reserve_attackers);
-        let mut pending = self.pending.lock().unwrap();
-        let would_hold = pending.len() as u64 + admitted.len() as u64;
+        let n = self.pending.len() as u64;
+        let mut admission = self.admission.lock().unwrap();
+        let would_hold = admission.held + admitted.len() as u64;
         if would_hold > budget {
             return AppResponse::error(
                 409,
                 format!(
                     "attacker budget exhausted: {} pending + {} new > {budget} reserved",
-                    pending.len(),
+                    admission.held,
                     admitted.len()
                 ),
                 generation,
             );
         }
         let accepted = admitted.len() as u64;
-        pending.extend(admitted);
-        let held = pending.len() as u64;
-        drop(pending);
+        for traj in admitted {
+            let seq = admission.next_seq;
+            admission.next_seq += 1;
+            self.pending[(seq % n) as usize]
+                .lock()
+                .unwrap()
+                .push((seq, traj));
+        }
+        admission.held = would_hold;
+        let held = admission.held;
+        drop(admission);
         AppResponse::ok(
             Json::obj()
                 .field("accepted", accepted)
                 .field("flagged", flagged)
                 .field("pending", held),
             generation,
+            0,
         )
     }
 
-    /// Drains the pending feedback into a fresh generation and
-    /// publishes it. Readers of the old generation are never blocked;
-    /// feedback arriving mid-retrain lands in the *next* generation.
+    /// Drains every shard's pending feedback into a fresh generation
+    /// and publishes it to every shard cell. Readers of the old
+    /// generation are never blocked; feedback arriving mid-retrain
+    /// lands in the *next* generation. Merging by arrival sequence
+    /// reconstructs the exact unsharded admission order — the
+    /// cross-shard barrier behind bit-identical replays.
     fn retrain(&self) -> AppResponse {
         let _order = self.retrain.lock().unwrap();
-        let poison = std::mem::take(&mut *self.pending.lock().unwrap());
+        let mut drained: Vec<SeqTrajectory> = {
+            let mut admission = self.admission.lock().unwrap();
+            let rows = self
+                .pending
+                .iter()
+                .flat_map(|queue| std::mem::take(&mut *queue.lock().unwrap()))
+                .collect();
+            admission.held = 0;
+            rows
+        };
+        drained.sort_unstable_by_key(|&(seq, _)| seq);
+        let poison: Vec<Trajectory> = drained.into_iter().map(|(_, traj)| traj).collect();
         let ingested = poison.len() as u64;
         let snap = self.system.retrain_snapshot(&poison);
         let generation = snap.generation();
         let seed = snap.seed();
-        let retired = self.snapshot.publish(std::sync::Arc::new(snap));
+        let retired = self.snapshots.publish_all(std::sync::Arc::new(snap));
         telemetry::metrics::counter("serve_retrains_total").inc();
         telemetry::metrics::gauge("serve_retired_snapshots").set(retired as i64);
         AppResponse::ok(
@@ -335,6 +531,7 @@ impl RecApp {
                 .field("seed", seed)
                 .field("ingested", ingested),
             generation,
+            0,
         )
     }
 }
@@ -348,6 +545,10 @@ mod tests {
     use recsys::system::SystemConfig;
 
     fn app() -> RecApp {
+        app_with_shards(1)
+    }
+
+    fn app_with_shards(n: usize) -> RecApp {
         let histories = (0..40u32)
             .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
             .collect();
@@ -361,7 +562,9 @@ mod tests {
                 ..SystemConfig::default()
             },
         );
-        RecApp::new(system, None)
+        let mut app = RecApp::new(system, None);
+        app.reshard(n);
+        app
     }
 
     fn get(app: &RecApp, target: &str) -> AppResponse {
@@ -380,6 +583,69 @@ mod tests {
     }
 
     #[test]
+    fn route_parse_is_the_single_status_authority() {
+        let q = |pairs: &[(&str, &str)]| -> Vec<(String, String)> {
+            pairs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect()
+        };
+        assert_eq!(Route::parse("GET", "/healthz", &[]), Ok(Route::Healthz));
+        assert_eq!(Route::parse("POST", "/feedback", &[]), Ok(Route::Feedback));
+        assert_eq!(
+            Route::parse("GET", "/recommend/7", &q(&[("k", "5")])),
+            Ok(Route::Recommend {
+                user: 7,
+                k: Some(5)
+            })
+        );
+        assert_eq!(
+            Route::parse("GET", "/recommend/7", &[]),
+            Ok(Route::Recommend { user: 7, k: None })
+        );
+        // 405: known path, wrong method.
+        for (method, path) in [
+            ("POST", "/healthz"),
+            ("DELETE", "/feedback"),
+            ("GET", "/retrain"),
+            ("POST", "/recommend/3"),
+        ] {
+            assert_eq!(Route::parse(method, path, &[]).unwrap_err().status, 405);
+        }
+        // 400: malformed parameters.
+        assert_eq!(
+            Route::parse("GET", "/recommend/banana", &[])
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            Route::parse("GET", "/recommend/1", &q(&[("k", "banana")]))
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            Route::parse("GET", "/recommend/1", &q(&[("k", "99999")]))
+                .unwrap_err()
+                .status,
+            400
+        );
+        // 404: unknown path.
+        assert_eq!(Route::parse("GET", "/nope", &[]).unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn route_classification_for_the_event_loop() {
+        assert!(Route::Healthz.is_fast());
+        assert!(Route::Recommend { user: 1, k: None }.is_fast());
+        assert!(!Route::Feedback.is_fast());
+        assert!(!Route::Retrain.is_fast());
+        assert_eq!(Route::Recommend { user: 7, k: None }.shard(4), 3);
+        assert_eq!(Route::Retrain.shard(4), 0);
+    }
+
+    #[test]
     fn healthz_and_info_describe_the_clean_system() {
         let app = app();
         let health = get(&app, "/healthz");
@@ -395,6 +661,7 @@ mod tests {
             info.body.get("ranker").and_then(Json::as_str),
             Some("ItemPop")
         );
+        assert_eq!(info.body.get("shards").and_then(Json::as_u64), Some(1));
         assert_eq!(
             info.body
                 .get("config")
@@ -464,67 +731,125 @@ mod tests {
 
     #[test]
     fn retrain_matches_the_in_process_observation_stream() {
-        let histories = (0..40u32)
-            .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
-            .collect();
-        let data = Dataset::from_histories("toy", histories, 60, 8);
-        let cfg = SystemConfig {
-            eval_users: 16,
-            reserve_attackers: 8,
-            ..SystemConfig::default()
-        };
-        let reference = BlackBoxSystem::build(data.clone(), Box::new(ItemPop::new()), cfg.clone());
-        let target = reference.public_info().target_items[0];
-        let poison = vec![vec![target; 6]; 4];
-        let expected = reference.observe(&poison);
-
-        let app = RecApp::new(
-            BlackBoxSystem::build(data, Box::new(ItemPop::new()), cfg),
-            None,
-        );
-        let body = format!(
-            "{{\"trajectories\":[{}]}}",
-            poison
-                .iter()
-                .map(|t| format!(
-                    "[{}]",
-                    t.iter()
-                        .map(|i| i.to_string())
-                        .collect::<Vec<_>>()
-                        .join(",")
-                ))
-                .collect::<Vec<_>>()
-                .join(",")
-        );
-        assert_eq!(request(&app, "POST", "/feedback", &body).status, 200);
-        let retrain = request(&app, "POST", "/retrain", "");
-        assert_eq!(retrain.status, 200);
-        assert_eq!(
-            retrain.body.get("seed").and_then(Json::as_u64),
-            Some(expected.seed),
-            "served retrain must consume the same seed stream"
-        );
-        assert_eq!(
-            retrain.body.get("generation").and_then(Json::as_u64),
-            Some(1)
-        );
-
-        // Count target hits over the served lists: must equal the
-        // in-process observation's RecNum.
-        let mut rec_num = 0u32;
-        let targets = app.system().public_info().target_items;
-        for &user in app.system().protocol().eval_users() {
-            let resp = get(&app, &format!("/recommend/{user}"));
-            let Some(Json::Arr(items)) = resp.body.get("items") else {
-                panic!("items missing");
+        // The bit-identity contract must hold at every shard count:
+        // per-shard queues merged by arrival sequence reconstruct the
+        // exact unsharded poison order.
+        for shards in [1usize, 3, 4] {
+            let histories = (0..40u32)
+                .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
+                .collect();
+            let data = Dataset::from_histories("toy", histories, 60, 8);
+            let cfg = SystemConfig {
+                eval_users: 16,
+                reserve_attackers: 8,
+                ..SystemConfig::default()
             };
-            rec_num += items
-                .iter()
-                .filter_map(Json::as_u64)
-                .filter(|&i| targets.contains(&(i as u32)))
-                .count() as u32;
+            let reference =
+                BlackBoxSystem::build(data.clone(), Box::new(ItemPop::new()), cfg.clone());
+            let target = reference.public_info().target_items[0];
+            // Distinct trajectories so any order scramble would change
+            // the fine-tune input.
+            let poison: Vec<Vec<u32>> = (0..4u32)
+                .map(|i| {
+                    let mut t = vec![target; 5];
+                    t.push(i);
+                    t
+                })
+                .collect();
+            let expected = reference.observe(&poison);
+
+            let mut app = RecApp::new(
+                BlackBoxSystem::build(data, Box::new(ItemPop::new()), cfg),
+                None,
+            );
+            app.reshard(shards);
+            assert_eq!(app.n_shards(), shards);
+            let body = format!(
+                "{{\"trajectories\":[{}]}}",
+                poison
+                    .iter()
+                    .map(|t| format!(
+                        "[{}]",
+                        t.iter()
+                            .map(|i| i.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            assert_eq!(request(&app, "POST", "/feedback", &body).status, 200);
+            let retrain = request(&app, "POST", "/retrain", "");
+            assert_eq!(retrain.status, 200);
+            assert_eq!(
+                retrain.body.get("seed").and_then(Json::as_u64),
+                Some(expected.seed),
+                "served retrain must consume the same seed stream (shards={shards})"
+            );
+            assert_eq!(
+                retrain.body.get("generation").and_then(Json::as_u64),
+                Some(1)
+            );
+
+            // Count target hits over the served lists: must equal the
+            // in-process observation's RecNum.
+            let mut rec_num = 0u32;
+            let targets = app.system().public_info().target_items;
+            for &user in app.system().protocol().eval_users() {
+                let resp = get(&app, &format!("/recommend/{user}"));
+                let Some(Json::Arr(items)) = resp.body.get("items") else {
+                    panic!("items missing");
+                };
+                rec_num += items
+                    .iter()
+                    .filter_map(Json::as_u64)
+                    .filter(|&i| targets.contains(&(i as u32)))
+                    .count() as u32;
+            }
+            assert_eq!(rec_num, expected.rec_num, "shards={shards}");
         }
-        assert_eq!(rec_num, expected.rec_num);
+    }
+
+    #[test]
+    fn resharding_preserves_pending_feedback_and_budget() {
+        let mut app = app_with_shards(1);
+        assert_eq!(
+            request(
+                &app,
+                "POST",
+                "/feedback",
+                "{\"trajectories\":[[1],[2],[3]]}"
+            )
+            .status,
+            200
+        );
+        app.reshard(4);
+        // Budget still accounts for the redistributed trajectories…
+        let fill = "{\"trajectories\":[[4],[4],[4],[4],[4],[4]]}";
+        assert_eq!(request(&app, "POST", "/feedback", fill).status, 409);
+        // …and retrain ingests all of them.
+        let retrain = request(&app, "POST", "/retrain", "");
+        assert_eq!(retrain.body.get("ingested").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn recommend_reads_the_owning_shard_cell() {
+        let app = app_with_shards(4);
+        let user = app.system().protocol().eval_users()[0];
+        let resp = get(&app, &format!("/recommend/{user}"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.shard, (user % 4) as u64);
+        // After a retrain sweep, every shard serves the new generation.
+        assert_eq!(request(&app, "POST", "/retrain", "").status, 200);
+        for &u in app.system().protocol().eval_users().iter().take(8) {
+            let resp = get(&app, &format!("/recommend/{u}"));
+            assert_eq!(
+                resp.body.get("generation").and_then(Json::as_u64),
+                Some(1),
+                "user {u} (shard {}) must see the swept generation",
+                u % 4
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,9 @@ struct Args {
     reserve_attackers: u32,
     port: u16,
     threads: usize,
+    shards: usize,
+    max_conns: usize,
+    driver: serve::DriverKind,
     access_log: Option<std::path::PathBuf>,
     defense: Option<String>,
     defense_fpr: f64,
@@ -51,6 +54,9 @@ impl Default for Args {
             reserve_attackers: 32,
             port: 0,
             threads: 2,
+            shards: 1,
+            max_conns: 10_000,
+            driver: serve::DriverKind::Event,
             access_log: None,
             defense: None,
             defense_fpr: 0.05,
@@ -63,6 +69,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--dataset NAME] [--scale F] [--seed N] [--ranker NAME]\n\
          \x20            [--eval-users N] [--reserve-attackers N] [--port N] [--threads N]\n\
+         \x20            [--shards N] [--max-conns N] [--driver event|blocking]\n\
          \x20            [--access-log FILE] [--defense popularity|repetition] [--defense-fpr F]\n\
          \x20            [--fault-ordinals a,b,c]\n\
          serves until stdin reaches EOF (or a `quit` line), then drains and exits"
@@ -107,6 +114,20 @@ fn parse_args() -> Args {
             }
             "--port" => args.port = value("--port").parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => {
+                args.max_conns = value("--max-conns").parse().unwrap_or_else(|_| usage())
+            }
+            "--driver" => {
+                args.driver = match value("--driver").as_str() {
+                    "event" => serve::DriverKind::Event,
+                    "blocking" => serve::DriverKind::Blocking,
+                    other => {
+                        eprintln!("unknown driver {other:?} (expected event|blocking)");
+                        usage()
+                    }
+                }
+            }
             "--access-log" => args.access_log = Some(value("--access-log").into()),
             "--defense" => args.defense = Some(value("--defense")),
             "--defense-fpr" => {
@@ -167,17 +188,24 @@ fn main() -> ExitCode {
         Arc::new(plan)
     });
 
-    let server = Server::start(
-        RecApp::new(system, defense),
-        ServerConfig {
-            port: args.port,
-            threads: args.threads,
-            access_log: args.access_log.clone(),
-            fault_plan,
-            limits: serve::Limits::default(),
-        },
-    )
-    .unwrap_or_else(|err| {
+    let mut builder = ServerConfig::builder()
+        .port(args.port)
+        .threads(args.threads)
+        .shards(args.shards)
+        .max_conns(args.max_conns)
+        .driver(args.driver);
+    if let Some(path) = &args.access_log {
+        builder = builder.access_log(path.clone());
+    }
+    if let Some(plan) = fault_plan {
+        builder = builder.fault_plan(plan);
+    }
+    let cfg = builder.build().unwrap_or_else(|err| {
+        eprintln!("bad server config: {err}");
+        std::process::exit(2);
+    });
+
+    let server = Server::start(RecApp::new(system, defense), cfg).unwrap_or_else(|err| {
         eprintln!("cannot bind 127.0.0.1:{}: {err}", args.port);
         std::process::exit(1);
     });
@@ -190,6 +218,9 @@ fn main() -> ExitCode {
             .field("dataset", args.dataset.name())
             .field("ranker", args.ranker.name())
             .field("threads", args.threads)
+            .field("shards", args.shards)
+            .field("max_conns", args.max_conns)
+            .field("driver", server.driver().name())
             .render()
     );
 

@@ -2,53 +2,109 @@
 //!
 //! A zero-dependency HTTP/1.1 recommendation server over
 //! [`std::net::TcpListener`], exposing the PoisonRec attack surface
-//! over a real socket (DESIGN.md §5e):
+//! over a real socket (DESIGN.md §5e–f):
 //!
 //! | route                     | semantics                                    |
 //! |---------------------------|----------------------------------------------|
-//! | `GET /recommend/{u}?k=`   | top-k list from the live snapshot            |
+//! | `GET /recommend/{u}?k=`   | top-k list from the owning shard's snapshot  |
 //! | `POST /feedback`          | buffer trajectories (optional online filter) |
 //! | `POST /retrain`           | drain feedback → fine-tune → atomic publish  |
 //! | `GET /info`               | experimenter-side disclosure                 |
 //! | `GET /metrics`            | global telemetry registry snapshot           |
 //! | `GET /healthz`            | liveness + current generation                |
 //!
-//! Layering: [`http`] is the sans-io parser, [`app`] the
-//! transport-free router, and this module the socket plumbing —
-//! accept loop, keep-alive/pipelining, per-request panic isolation,
-//! the JSONL access log, and graceful shutdown that drains every
-//! accepted request before [`Server::shutdown`] returns.
+//! Layering: [`http`] is the sans-io parser, [`conn`] the sans-io
+//! per-connection state machine, [`app`] the transport-free router
+//! (typed [`Route`]s over sharded state), [`poll`] the readiness
+//! layer, and this module the drivers that move bytes.
 //!
-//! Connections are handled on a dedicated [`runtime::WorkerPool`]
-//! owned by the server (never `runtime::global()`, which sizes itself
-//! to spare cores and may legitimately have zero workers). One
-//! connection occupies one pool task for its lifetime, so a server
-//! with `threads` workers serves at most `threads` concurrent
-//! connections; excess accepts queue in the pool.
+//! ## The event-loop driver (default)
+//!
+//! One `serve-loop` thread owns every socket: a [`poll::Poller`]
+//! (epoll, or ppoll fallback) reports readiness, the loop feeds bytes
+//! through each connection's [`Connection`] machine, answers *fast*
+//! routes (reads — lock-free snapshot pins) inline, and offloads
+//! *slow* routes (feedback/retrain) to a fixed [`runtime::WorkerPool`]
+//! via [`runtime::WorkerPool::spawn_waking`], whose completion wakes
+//! the parked poller through a [`poll::Waker`] pipe. Idle keep-alive
+//! connections therefore cost one registered fd and a small state
+//! machine — **zero threads** — and total thread count is fixed at
+//! `1 + threads` regardless of connection count (the acceptance
+//! criterion `tests/many_conns.rs` pins at 10k connections).
+//!
+//! ## The blocking driver (fallback + differential tests)
+//!
+//! The pre-PR-6 thread-per-connection driver is retained behind
+//! [`DriverKind::Blocking`]: one pool task per connection, 20 ms read
+//! timeouts, same graceful-drain rules. It drives the *same*
+//! [`Connection`] machine — one implementation of pipelining,
+//! response ordering, and close semantics, so the drivers cannot
+//! drift. Non-Linux targets fall back to it automatically.
+//!
+//! Both drivers keep the accepted/completed ledger: every request
+//! parsed off a socket is counted accepted, every response whose last
+//! byte reached the kernel counted completed, and a graceful
+//! [`Server::shutdown`] reports them with `dropped() == 0`.
 
 pub mod app;
+pub mod conn;
 pub mod http;
+pub mod poll;
 
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use recsys::system::ConfigError;
 use telemetry::json::Json;
 use telemetry::JsonlSink;
 
-pub use app::{AppResponse, RecApp};
+pub use app::{AppResponse, RecApp, Route, RouteError};
+pub use conn::{Connection, FeedOutcome, Inbound};
 pub use http::{HttpError, Limits, Request, RequestParser};
+pub use poll::{raise_nofile, Interest, Poller, Waker};
+
+/// Which byte-moving driver a [`Server`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DriverKind {
+    /// Readiness-driven event loop (epoll/ppoll); falls back to
+    /// [`DriverKind::Blocking`] where no poller is available.
+    #[default]
+    Event,
+    /// One pool task per connection with timeout-polled reads.
+    Blocking,
+}
+
+impl DriverKind {
+    /// Stable lowercase name used in logs and manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriverKind::Event => "event",
+            DriverKind::Blocking => "blocking",
+        }
+    }
+}
 
 /// How a [`Server`] is wired up; independent of the system it serves.
+/// Construct via [`ServerConfig::builder`] for validation, or fill
+/// fields directly (tests use `..Default::default()`).
 pub struct ServerConfig {
     /// Port to bind on 127.0.0.1; `0` asks the OS for a free one
     /// (tests always do — see [`Server::local_addr`]).
     pub port: u16,
-    /// Connection-handling worker threads (min 1).
+    /// Handler worker threads (min 1). Under the event driver these
+    /// run offloaded feedback/retrain handlers; under the blocking
+    /// driver they are the per-connection tasks.
     pub threads: usize,
+    /// Serving-state shards (min 1): snapshot cells + feedback queues.
+    pub shards: usize,
+    /// Connection ceiling; accepts beyond it are dropped at the door.
+    pub max_conns: usize,
     /// One JSONL access event per request when set.
     pub access_log: Option<std::path::PathBuf>,
     /// Scripted per-request faults: each request consumes one fault
@@ -57,6 +113,8 @@ pub struct ServerConfig {
     pub fault_plan: Option<Arc<runtime::FaultPlan>>,
     /// Parser byte budgets.
     pub limits: Limits,
+    /// Byte-moving driver; [`DriverKind::Event`] unless overridden.
+    pub driver: DriverKind,
 }
 
 impl Default for ServerConfig {
@@ -64,10 +122,101 @@ impl Default for ServerConfig {
         Self {
             port: 0,
             threads: 2,
+            shards: 1,
+            max_conns: 10_000,
             access_log: None,
             fault_plan: None,
             limits: Limits::default(),
+            driver: DriverKind::Event,
         }
+    }
+}
+
+impl ServerConfig {
+    /// A validating builder seeded with the defaults, matching the
+    /// `SystemConfig::builder` idiom.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builds a [`ServerConfig`], rejecting values that would otherwise
+/// surface as a wedged or silently-degraded server.
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    pub fn port(mut self, port: u16) -> Self {
+        self.cfg.port = port;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    pub fn max_conns(mut self, max_conns: usize) -> Self {
+        self.cfg.max_conns = max_conns;
+        self
+    }
+
+    pub fn access_log(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.access_log = Some(path.into());
+        self
+    }
+
+    pub fn fault_plan(mut self, plan: Arc<runtime::FaultPlan>) -> Self {
+        self.cfg.fault_plan = Some(plan);
+        self
+    }
+
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.cfg.limits = limits;
+        self
+    }
+
+    pub fn driver(mut self, driver: DriverKind) -> Self {
+        self.cfg.driver = driver;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.threads == 0 {
+            return Err(ConfigError {
+                field: "threads",
+                message: "a server with no handler threads can answer nothing".into(),
+            });
+        }
+        if cfg.shards == 0 {
+            return Err(ConfigError {
+                field: "shards",
+                message: "at least one serving shard must hold the snapshot".into(),
+            });
+        }
+        if cfg.max_conns == 0 {
+            return Err(ConfigError {
+                field: "max_conns",
+                message: "a zero connection ceiling rejects every client".into(),
+            });
+        }
+        if cfg.limits.max_head_bytes == 0 || cfg.limits.max_body_bytes == 0 {
+            return Err(ConfigError {
+                field: "limits",
+                message: "zero byte budgets reject every request".into(),
+            });
+        }
+        Ok(cfg)
     }
 }
 
@@ -99,21 +248,99 @@ struct Shared {
     responses_completed: AtomicU64,
     fault_plan: Option<Arc<runtime::FaultPlan>>,
     limits: Limits,
+    max_conns: usize,
+}
+
+impl Shared {
+    /// Computes the response to one request, isolating handler panics
+    /// (including scripted [`runtime::FaultPlan`] faults) into 500s.
+    /// Every request consumes one fault ordinal, fast or slow.
+    fn compute(&self, route: &Result<Route, RouteError>, body: &[u8]) -> AppResponse {
+        telemetry::metrics::counter("serve_requests_total").inc();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &self.fault_plan {
+                plan.on_unit();
+            }
+            match route {
+                Ok(route) => self.app.dispatch(route, body),
+                Err(err) => AppResponse {
+                    status: err.status,
+                    body: Json::obj().field("error", err.message.clone()),
+                    generation: self.app.generation(),
+                    shard: 0,
+                },
+            }
+        }));
+        let resp = outcome.unwrap_or_else(|_| {
+            telemetry::metrics::counter("serve_request_panics_total").inc();
+            AppResponse {
+                status: 500,
+                body: Json::obj().field("error", "internal error"),
+                generation: self.app.generation(),
+                shard: 0,
+            }
+        });
+        if resp.status >= 500 {
+            telemetry::metrics::counter("serve_responses_5xx_total").inc();
+        }
+        resp
+    }
+}
+
+/// One `{"type":"access", ...}` event per request. `ts_micros` is a
+/// monotonic clock (micros since server start), so the validator can
+/// require per-connection monotonicity without wall-clock caveats.
+/// `shard` is the snapshot cell that answered; `lag_micros` the
+/// parse-to-dispatch gap (event-loop lag under the event driver).
+#[allow(clippy::too_many_arguments)]
+fn log_access(
+    shared: &Shared,
+    conn: u64,
+    method: &str,
+    path: &str,
+    status: u16,
+    generation: u64,
+    shard: u64,
+    micros: u64,
+    lag_micros: u64,
+) {
+    let Some(log) = &shared.log else {
+        return;
+    };
+    let _ = log.emit(
+        &Json::obj()
+            .field("type", "access")
+            .field("conn", conn)
+            .field("method", method.to_string())
+            .field("path", path.to_string())
+            .field("status", u64::from(status))
+            .field("generation", generation)
+            .field("shard", shard)
+            .field("micros", micros)
+            .field("lag_micros", lag_micros)
+            .field("ts_micros", shared.started.elapsed().as_micros() as u64),
+    );
 }
 
 /// A running server. Dropping it performs a graceful shutdown.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    /// Owned pool; dropped last so queued connections finish.
+    driver_thread: Option<std::thread::JoinHandle<()>>,
+    /// Owned pool; dropped last so queued handlers finish.
     pool: Option<Arc<runtime::WorkerPool>>,
+    /// Wakes the parked event loop at shutdown (event driver only).
+    waker: Option<Arc<Waker>>,
+    driver: DriverKind,
 }
 
 impl Server {
-    /// Binds `127.0.0.1:{port}` and starts accepting. The app is built
-    /// by the caller so tests can inject defenses or prebuilt systems.
-    pub fn start(app: RecApp, cfg: ServerConfig) -> std::io::Result<Self> {
+    /// Binds `127.0.0.1:{port}` and starts serving. The app is built
+    /// by the caller so tests can inject defenses or prebuilt systems;
+    /// it is resharded to `cfg.shards` before the first byte is
+    /// served.
+    pub fn start(mut app: RecApp, cfg: ServerConfig) -> std::io::Result<Self> {
+        app.reshard(cfg.shards.max(1));
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -133,7 +360,24 @@ impl Server {
             responses_completed: AtomicU64::new(0),
             fault_plan: cfg.fault_plan,
             limits: cfg.limits,
+            max_conns: cfg.max_conns.max(1),
         });
+
+        let pool = Arc::new(runtime::WorkerPool::new(cfg.threads.max(1)));
+
+        // Prefer the event driver; fall back to blocking when no
+        // poller backend exists (non-Linux targets).
+        let mut driver = cfg.driver;
+        let mut event_parts = None;
+        if driver == DriverKind::Event {
+            match (Poller::new(), Waker::new()) {
+                (Ok(poller), Ok((waker, reader))) => {
+                    event_parts = Some((poller, Arc::new(waker), reader));
+                }
+                _ => driver = DriverKind::Blocking,
+            }
+        }
+
         if let Some(log) = &shared.log {
             log.emit(
                 &Json::obj()
@@ -141,22 +385,45 @@ impl Server {
                     .field("kind", "access-log")
                     .field("addr", addr.to_string())
                     .field("ranker", shared.app.system().ranker_name())
-                    .field("threads", cfg.threads.max(1)),
+                    .field("threads", cfg.threads.max(1))
+                    .field("shards", shared.app.n_shards())
+                    .field("max_conns", shared.max_conns)
+                    .field("driver", driver.name()),
             )?;
         }
 
-        let pool = Arc::new(runtime::WorkerPool::new(cfg.threads.max(1)));
-        let accept_shared = Arc::clone(&shared);
-        let accept_pool = Arc::clone(&pool);
-        let accept_thread = std::thread::Builder::new()
-            .name("serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, accept_pool))?;
+        let (driver_thread, waker) = match event_parts {
+            Some((poller, waker, reader)) => {
+                let event_loop = EventLoop::new(
+                    listener,
+                    poller,
+                    Arc::clone(&waker),
+                    reader,
+                    Arc::clone(&shared),
+                    Arc::clone(&pool),
+                );
+                let handle = std::thread::Builder::new()
+                    .name("serve-loop".into())
+                    .spawn(move || event_loop.run())?;
+                (handle, Some(waker))
+            }
+            None => {
+                let accept_shared = Arc::clone(&shared);
+                let accept_pool = Arc::clone(&pool);
+                let handle = std::thread::Builder::new()
+                    .name("serve-accept".into())
+                    .spawn(move || blocking_accept_loop(listener, accept_shared, accept_pool))?;
+                (handle, None)
+            }
+        };
 
         Ok(Self {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
+            driver_thread: Some(driver_thread),
             pool: Some(pool),
+            waker,
+            driver,
         })
     }
 
@@ -170,7 +437,20 @@ impl Server {
         self.shared.app.generation()
     }
 
-    /// Stops accepting, waits for every in-flight connection to drain,
+    /// The driver actually running (the event driver may have fallen
+    /// back to blocking on targets without a poller).
+    pub fn driver(&self) -> DriverKind {
+        self.driver
+    }
+
+    /// Connections currently registered with the driver. Benchmarks
+    /// use this to wait out a teardown storm after dropping a client
+    /// fleet before taking latency measurements.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_connections.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, waits for every in-flight request to drain,
     /// and reports the request/response ledger. Idempotent via Drop.
     pub fn shutdown(mut self) -> ShutdownStats {
         self.shutdown_inner()
@@ -178,11 +458,13 @@ impl Server {
 
     fn shutdown_inner(&mut self) -> ShutdownStats {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(waker) = &self.waker {
+            runtime::Wake::wake(&**waker);
+        }
+        if let Some(handle) = self.driver_thread.take() {
             let _ = handle.join();
         }
-        // Drain: every accepted connection decrements on exit; their
-        // read loops observe the shutdown flag within one poll tick.
+        // Blocking driver: every connection task decrements on exit.
         while self.shared.active_connections.load(Ordering::SeqCst) > 0 {
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -203,16 +485,448 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<runtime::WorkerPool>) {
+// ---------------------------------------------------------------------------
+// Event driver
+// ---------------------------------------------------------------------------
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long a half-received request may keep a draining connection
+/// alive (both drivers), bounding shutdown latency against clients
+/// that stall mid-request.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// An offloaded handler's finished response, sent back to the loop.
+struct Completion {
+    token: u64,
+    status: u16,
+    body: String,
+    generation: u64,
+    shard: u64,
+    method: String,
+    path: String,
+    micros: u64,
+    lag_micros: u64,
+}
+
+struct ConnEntry {
+    stream: TcpStream,
+    machine: Connection,
+    interest: Interest,
+    /// Peer half-closed its write side; serve what's queued, then go.
+    eof: bool,
+    /// Last byte-level progress, for the shutdown drain grace.
+    last_progress: Instant,
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    poller: Poller,
+    waker: Arc<Waker>,
+    waker_reader: std::io::PipeReader,
+    shared: Arc<Shared>,
+    pool: Arc<runtime::WorkerPool>,
+    conns: HashMap<u64, ConnEntry>,
+    next_token: u64,
+    tx: Sender<Completion>,
+    rx: Receiver<Completion>,
+    accepting: bool,
+}
+
+impl EventLoop {
+    fn new(
+        listener: TcpListener,
+        poller: Poller,
+        waker: Arc<Waker>,
+        waker_reader: std::io::PipeReader,
+        shared: Arc<Shared>,
+        pool: Arc<runtime::WorkerPool>,
+    ) -> Self {
+        let (tx, rx) = std::sync::mpsc::channel();
+        Self {
+            listener,
+            poller,
+            waker,
+            waker_reader,
+            shared,
+            pool,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            tx,
+            rx,
+            accepting: true,
+        }
+    }
+
+    fn run(mut self) {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            if self
+                .poller
+                .register(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                .is_err()
+                || self
+                    .poller
+                    .register(self.waker_reader.as_raw_fd(), WAKER_TOKEN, Interest::READ)
+                    .is_err()
+            {
+                return;
+            }
+        }
+        let mut events = Vec::new();
+        loop {
+            let draining = self.shared.shutdown.load(Ordering::SeqCst);
+            let timeout = if draining {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(200)
+            };
+            events.clear();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                return;
+            }
+            for &event in &events {
+                match event.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.drain_waker(),
+                    token => self.conn_ready(token, event),
+                }
+            }
+            self.drain_completions();
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.drive_drain();
+                if self.conns.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            if !self.accepting {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.shared.max_conns {
+                        // Over the ceiling: hang up at the door.
+                        telemetry::metrics::counter("serve_conns_rejected_total").inc();
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    #[cfg(unix)]
+                    {
+                        use std::os::fd::AsRawFd;
+                        if self
+                            .poller
+                            .register(stream.as_raw_fd(), token, Interest::READ)
+                            .is_err()
+                        {
+                            continue;
+                        }
+                    }
+                    telemetry::metrics::gauge("serve_active_connections").add(1);
+                    self.conns.insert(
+                        token,
+                        ConnEntry {
+                            stream,
+                            machine: Connection::new(self.shared.limits),
+                            interest: Interest::READ,
+                            eof: false,
+                            last_progress: Instant::now(),
+                        },
+                    );
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        // Clear the coalescing flag first: a wake racing this drain
+        // writes a fresh byte and the next `wait` returns immediately.
+        self.waker.begin_drain();
+        let mut buf = [0u8; 64];
+        while matches!((&self.waker_reader).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    fn conn_ready(&mut self, token: u64, event: poll::Event) {
+        if !self.conns.contains_key(&token) {
+            return; // torn down earlier in this batch
+        }
+        if event.readable && !self.read_conn(token) {
+            self.teardown(token);
+            return;
+        }
+        self.service_conn(token);
+        self.flush_and_maybe_close(token);
+    }
+
+    /// Reads everything currently available; false = tear down now.
+    fn read_conn(&mut self, token: u64) -> bool {
+        let entry = self.conns.get_mut(&token).expect("checked by caller");
+        if entry.machine.is_closing() || entry.eof {
+            return true;
+        }
+        let mut buf = [0u8; 8192];
+        loop {
+            match entry.stream.read(&mut buf) {
+                Ok(0) => {
+                    entry.eof = true;
+                    // Nothing queued and nothing mid-parse: plain close.
+                    return !entry.machine.is_idle();
+                }
+                Ok(n) => {
+                    entry.last_progress = Instant::now();
+                    let outcome = entry.machine.feed(&buf[..n]);
+                    if outcome.accepted > 0 {
+                        self.shared
+                            .requests_accepted
+                            .fetch_add(outcome.accepted as u64, Ordering::SeqCst);
+                    }
+                    if outcome.error.is_some() {
+                        return true; // answered via take_due_error
+                    }
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => return true,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Dispatches every ready request: fast routes inline, slow ones
+    /// to the worker set (at most one in flight per connection — the
+    /// machine enforces response ordering).
+    fn service_conn(&mut self, token: u64) {
+        loop {
+            let Some(entry) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if let Some(err) = entry.machine.take_due_error() {
+                let body = Json::obj().field("error", err.reason().to_string());
+                entry
+                    .machine
+                    .push_error_response(err.status(), &body.render());
+                log_access(
+                    &self.shared,
+                    token,
+                    "?",
+                    "?",
+                    err.status(),
+                    self.shared.app.generation(),
+                    0,
+                    0,
+                    0,
+                );
+                return;
+            }
+            if !entry.machine.has_ready_request() {
+                return;
+            }
+            let inbound = entry.machine.take_request().expect("ready");
+            let lag_micros = inbound.parsed_at.elapsed().as_micros() as u64;
+            telemetry::metrics::gauge("serve_event_loop_lag_micros").set(lag_micros as i64);
+            let req = inbound.request;
+            let route = Route::parse(&req.method, &req.path, &req.query);
+            let fast = route.as_ref().map_or(true, Route::is_fast);
+            if fast {
+                let timer = Instant::now();
+                let resp = self.shared.compute(&route, &req.body);
+                let micros = timer.elapsed().as_micros() as u64;
+                let force_close = self.shared.shutdown.load(Ordering::SeqCst);
+                let entry = self.conns.get_mut(&token).expect("still present");
+                entry
+                    .machine
+                    .push_response(resp.status, &resp.body.render(), force_close);
+                log_access(
+                    &self.shared,
+                    token,
+                    &req.method,
+                    &req.path,
+                    resp.status,
+                    resp.generation,
+                    resp.shard,
+                    micros,
+                    lag_micros,
+                );
+                continue; // next pipelined request
+            }
+            // Slow route: offload; the completion wakes the poller.
+            let shared = Arc::clone(&self.shared);
+            let tx = self.tx.clone();
+            let waker: Arc<dyn runtime::Wake> = Arc::clone(&self.waker) as _;
+            self.pool.spawn_waking(
+                move || {
+                    let timer = Instant::now();
+                    let resp = shared.compute(&route, &req.body);
+                    let _ = tx.send(Completion {
+                        token,
+                        status: resp.status,
+                        body: resp.body.render(),
+                        generation: resp.generation,
+                        shard: resp.shard,
+                        method: req.method,
+                        path: req.path,
+                        micros: timer.elapsed().as_micros() as u64,
+                        lag_micros,
+                    });
+                },
+                waker,
+            );
+            return; // the machine blocks further takes until completion
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.rx.try_recv() {
+            let Some(entry) = self.conns.get_mut(&done.token) else {
+                continue; // peer vanished while the handler ran
+            };
+            let force_close = self.shared.shutdown.load(Ordering::SeqCst);
+            entry
+                .machine
+                .push_response(done.status, &done.body, force_close);
+            log_access(
+                &self.shared,
+                done.token,
+                &done.method,
+                &done.path,
+                done.status,
+                done.generation,
+                done.shard,
+                done.micros,
+                done.lag_micros,
+            );
+            let token = done.token;
+            self.service_conn(token);
+            self.flush_and_maybe_close(token);
+        }
+    }
+
+    /// Writes pending output, adjusts write interest, and closes the
+    /// connection when its machine says so.
+    fn flush_and_maybe_close(&mut self, token: u64) {
+        let Some(entry) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while entry.machine.wants_write() {
+            match entry.stream.write(entry.machine.pending_output()) {
+                Ok(0) => {
+                    self.teardown(token);
+                    return;
+                }
+                Ok(n) => {
+                    entry.last_progress = Instant::now();
+                    let completed = entry.machine.advance_write(n);
+                    if completed > 0 {
+                        self.shared
+                            .responses_completed
+                            .fetch_add(completed, Ordering::SeqCst);
+                    }
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    self.teardown(token);
+                    return;
+                }
+            }
+        }
+        let want = if entry.machine.wants_write() {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        if want != entry.interest {
+            entry.interest = want;
+            #[cfg(unix)]
+            {
+                use std::os::fd::AsRawFd;
+                let _ = self
+                    .poller
+                    .reregister(entry.stream.as_raw_fd(), token, want);
+            }
+        }
+        let machine = &self.conns[&token].machine;
+        let done = machine.should_close_now()
+            || (self.conns[&token].eof && !machine.in_flight() && !machine.wants_write());
+        if done {
+            self.teardown(token);
+        }
+    }
+
+    /// One shutdown sweep: stop accepting, retire idle connections,
+    /// cut off stalled half-requests after the grace period.
+    fn drive_drain(&mut self) {
+        if self.accepting {
+            self.accepting = false;
+            #[cfg(unix)]
+            {
+                use std::os::fd::AsRawFd;
+                let _ = self.poller.deregister(self.listener.as_raw_fd());
+            }
+        }
+        let now = Instant::now();
+        let doomed: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, entry)| {
+                entry.machine.is_idle()
+                    || (entry.machine.buffered_partial() > 0
+                        && !entry.machine.in_flight()
+                        && now.duration_since(entry.last_progress) > DRAIN_GRACE)
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in doomed {
+            self.teardown(token);
+        }
+    }
+
+    fn teardown(&mut self, token: u64) {
+        if let Some(entry) = self.conns.remove(&token) {
+            #[cfg(unix)]
+            {
+                use std::os::fd::AsRawFd;
+                let _ = self.poller.deregister(entry.stream.as_raw_fd());
+            }
+            telemetry::metrics::gauge("serve_active_connections").add(-1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking driver
+// ---------------------------------------------------------------------------
+
+fn blocking_accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    pool: Arc<runtime::WorkerPool>,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if shared.active_connections.load(Ordering::SeqCst) >= shared.max_conns {
+                    telemetry::metrics::counter("serve_conns_rejected_total").inc();
+                    drop(stream);
+                    continue;
+                }
                 shared.active_connections.fetch_add(1, Ordering::SeqCst);
                 telemetry::metrics::gauge("serve_active_connections").add(1);
                 let conn_shared = Arc::clone(&shared);
                 pool.spawn(move || {
                     let conn = conn_shared.connection_ids.fetch_add(1, Ordering::Relaxed);
-                    handle_connection(stream, &conn_shared, conn);
+                    handle_connection_blocking(stream, &conn_shared, conn);
                     conn_shared
                         .active_connections
                         .fetch_sub(1, Ordering::SeqCst);
@@ -235,161 +949,117 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Arc<runtime::Wo
     }
 }
 
-/// Ticks of the 20ms read timeout a half-received request may keep a
-/// draining connection alive for (~2s), bounding shutdown latency
-/// against clients that stall mid-request.
-const DRAIN_GRACE_TICKS: u32 = 100;
-
-fn handle_connection(stream: TcpStream, shared: &Shared, conn: u64) {
+/// Drives one connection's [`Connection`] machine over a blocking
+/// socket with a 20 ms read timeout — the same machine the event loop
+/// drives, fed and flushed sequentially.
+fn handle_connection_blocking(stream: TcpStream, shared: &Shared, conn: u64) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
     let mut stream = stream;
-    let mut parser = RequestParser::new(shared.limits);
+    let mut machine = Connection::new(shared.limits);
     let mut read_buf = [0u8; 8192];
-    let mut drain_ticks = 0u32;
+    let mut eof = false;
+    let mut stalled_since: Option<Instant> = None;
 
     loop {
-        // Serve everything already buffered (pipelining) first.
+        // Serve everything already parsed (pipelining) first.
         loop {
-            match parser.next_request() {
-                Ok(Some(req)) => {
-                    shared.requests_accepted.fetch_add(1, Ordering::SeqCst);
-                    let closing = !req.keep_alive || shared.shutdown.load(Ordering::SeqCst);
-                    if !respond(&mut stream, shared, conn, &req, closing) {
-                        return;
-                    }
-                    shared.responses_completed.fetch_add(1, Ordering::SeqCst);
-                    if closing {
-                        return;
-                    }
-                }
-                Ok(None) => break,
-                Err(err) => {
-                    // Framing is untrustworthy past a parse error:
-                    // answer and hang up.
-                    reject(&mut stream, shared, conn, &err);
-                    return;
-                }
+            if let Some(err) = machine.take_due_error() {
+                let body = Json::obj().field("error", err.reason().to_string());
+                machine.push_error_response(err.status(), &body.render());
+                log_access(
+                    shared,
+                    conn,
+                    "?",
+                    "?",
+                    err.status(),
+                    shared.app.generation(),
+                    0,
+                    0,
+                    0,
+                );
+                break;
             }
+            let Some(inbound) = machine.take_request() else {
+                break;
+            };
+            let lag_micros = inbound.parsed_at.elapsed().as_micros() as u64;
+            let req = inbound.request;
+            let route = Route::parse(&req.method, &req.path, &req.query);
+            let timer = Instant::now();
+            let resp = shared.compute(&route, &req.body);
+            let micros = timer.elapsed().as_micros() as u64;
+            let force_close = shared.shutdown.load(Ordering::SeqCst);
+            machine.push_response(resp.status, &resp.body.render(), force_close);
+            log_access(
+                shared,
+                conn,
+                &req.method,
+                &req.path,
+                resp.status,
+                resp.generation,
+                resp.shard,
+                micros,
+                lag_micros,
+            );
+        }
+
+        // Flush: blocking write, so this drains fully or fails.
+        while machine.wants_write() {
+            match stream.write(machine.pending_output()) {
+                Ok(0) => return,
+                Ok(n) => {
+                    let completed = machine.advance_write(n);
+                    if completed > 0 {
+                        shared
+                            .responses_completed
+                            .fetch_add(completed, Ordering::SeqCst);
+                    }
+                }
+                Err(err) if err.kind() == ErrorKind::WouldBlock => {}
+                Err(_) => return,
+            }
+        }
+        if machine.should_close_now() {
+            return;
+        }
+        if eof && !machine.in_flight() {
+            return;
         }
 
         match stream.read(&mut read_buf) {
-            Ok(0) => return,
+            Ok(0) => {
+                if machine.is_idle() {
+                    return;
+                }
+                eof = true;
+            }
             Ok(n) => {
-                drain_ticks = 0;
-                parser.push(&read_buf[..n]);
+                stalled_since = None;
+                let outcome = machine.feed(&read_buf[..n]);
+                if outcome.accepted > 0 {
+                    shared
+                        .requests_accepted
+                        .fetch_add(outcome.accepted as u64, Ordering::SeqCst);
+                }
             }
             Err(err)
                 if err.kind() == ErrorKind::WouldBlock || err.kind() == ErrorKind::TimedOut =>
             {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    if parser.buffered() == 0 {
+                    if machine.is_idle() {
                         return;
                     }
                     // A request is mid-flight: grant a bounded grace.
-                    drain_ticks += 1;
-                    if drain_ticks > DRAIN_GRACE_TICKS {
-                        return;
+                    if machine.buffered_partial() > 0 {
+                        let since = *stalled_since.get_or_insert_with(Instant::now);
+                        if since.elapsed() > DRAIN_GRACE {
+                            return;
+                        }
                     }
                 }
             }
             Err(_) => return,
         }
     }
-}
-
-/// Routes `req`, isolating handler panics (including scripted
-/// [`runtime::FaultPlan`] faults) into 500s. Returns false if the
-/// response could not be written (peer went away).
-fn respond(
-    stream: &mut TcpStream,
-    shared: &Shared,
-    conn: u64,
-    req: &Request,
-    closing: bool,
-) -> bool {
-    let timer = Instant::now();
-    telemetry::metrics::counter("serve_requests_total").inc();
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        if let Some(plan) = &shared.fault_plan {
-            plan.on_unit();
-        }
-        shared.app.handle(req)
-    }));
-    let resp = outcome.unwrap_or_else(|_| {
-        telemetry::metrics::counter("serve_request_panics_total").inc();
-        AppResponse {
-            status: 500,
-            body: Json::obj().field("error", "internal error"),
-            generation: shared.app.generation(),
-        }
-    });
-    let micros = timer.elapsed().as_micros() as u64;
-    let ok = write_response(stream, resp.status, &resp.body, closing);
-    log_access(
-        shared,
-        conn,
-        &req.method,
-        &req.path,
-        resp.status,
-        resp.generation,
-        micros,
-    );
-    if resp.status >= 500 {
-        telemetry::metrics::counter("serve_responses_5xx_total").inc();
-    }
-    ok
-}
-
-fn write_response(stream: &mut TcpStream, status: u16, body: &Json, close: bool) -> bool {
-    let bytes = http::render_response(status, &body.render(), close);
-    stream
-        .write_all(&bytes)
-        .and_then(|()| stream.flush())
-        .is_ok()
-}
-
-/// Answers a parse error and logs it. The request line never became
-/// trustworthy, so method and path are recorded as `"?"` and the
-/// connection always closes.
-fn reject(stream: &mut TcpStream, shared: &Shared, conn: u64, err: &http::HttpError) {
-    let body = Json::obj().field("error", err.reason().to_string());
-    let _ = write_response(stream, err.status(), &body, true);
-    log_access(
-        shared,
-        conn,
-        "?",
-        "?",
-        err.status(),
-        shared.app.generation(),
-        0,
-    );
-}
-
-/// One `{"type":"access", ...}` event per request. `ts_micros` is a
-/// monotonic clock (micros since server start), so the validator can
-/// require per-connection monotonicity without wall-clock caveats.
-fn log_access(
-    shared: &Shared,
-    conn: u64,
-    method: &str,
-    path: &str,
-    status: u16,
-    generation: u64,
-    micros: u64,
-) {
-    let Some(log) = &shared.log else {
-        return;
-    };
-    let _ = log.emit(
-        &Json::obj()
-            .field("type", "access")
-            .field("conn", conn)
-            .field("method", method.to_string())
-            .field("path", path.to_string())
-            .field("status", u64::from(status))
-            .field("generation", generation)
-            .field("micros", micros)
-            .field("ts_micros", shared.started.elapsed().as_micros() as u64),
-    );
 }

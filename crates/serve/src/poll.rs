@@ -1,0 +1,748 @@
+//! A hand-rolled readiness poller over raw Linux syscalls — no `libc`
+//! crate, in keeping with the workspace's zero-dependency rule
+//! (DESIGN.md §5f).
+//!
+//! [`Poller`] prefers **epoll** (`epoll_create1`/`epoll_ctl`/
+//! `epoll_pwait`) and falls back to **ppoll(2)** when epoll is
+//! unavailable (exotic kernels, seccomp filters); both backends are
+//! driven through the same level-triggered API, so the event loop
+//! never knows which one it got. On non-Linux targets construction
+//! fails cleanly and the server falls back to its blocking driver.
+//!
+//! The syscall layer is three thin `asm!` shims (x86_64 and aarch64).
+//! Level-triggered semantics are deliberate: the event loop re-polls
+//! until it drains a readiness edge anyway, and level-triggering makes
+//! a missed wakeup impossible by construction.
+//!
+//! [`Waker`] is the cross-thread nudge: a pipe registered with the
+//! poller, written by worker threads when an offloaded response is
+//! ready. A `pending` flag collapses wake storms into one byte so the
+//! pipe can never fill up and block a worker.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// What a registration wants to hear about.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event. Errors and hangups surface as readability —
+/// the subsequent read returns 0/`Err` and the owner tears down.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    //! Raw syscall shims. Numbers are per-architecture; the calling
+    //! convention is the kernel's, not the C library's.
+
+    #[cfg(target_arch = "x86_64")]
+    pub mod nr {
+        pub const CLOSE: usize = 3;
+        pub const FCNTL: usize = 72;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const PPOLL: usize = 271;
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const PRLIMIT64: usize = 302;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    pub mod nr {
+        pub const CLOSE: usize = 57;
+        pub const FCNTL: usize = 25;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const PPOLL: usize = 73;
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const PRLIMIT64: usize = 261;
+    }
+
+    /// Six-argument syscall; unused trailing arguments are zero.
+    ///
+    /// # Safety
+    ///
+    /// The caller must uphold the kernel contract for syscall `n`:
+    /// pointer arguments must reference live memory of the expected
+    /// shape for the duration of the call.
+    #[cfg(target_arch = "x86_64")]
+    pub unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// See the x86_64 twin for the safety contract.
+    #[cfg(target_arch = "aarch64")]
+    pub unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            in("x8") n,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// Maps the kernel's negative-errno convention onto `io::Result`.
+    pub fn check(ret: isize) -> std::io::Result<usize> {
+        if ret < 0 {
+            Err(std::io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::{sys, Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+    const EPOLL_CLOEXEC: usize = 0x80000;
+
+    /// Kernel epoll_event. x86_64 packs it (legacy 32-bit layout
+    /// compatibility); every other architecture aligns naturally.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    fn interest_to_epoll(interest: Interest) -> u32 {
+        let mut events = 0;
+        if interest.readable {
+            events |= EPOLLIN;
+        }
+        if interest.writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    enum Backend {
+        Epoll {
+            epfd: RawFd,
+            buf: Vec<EpollEvent>,
+        },
+        /// ppoll keeps its own registry; the fd set is rebuilt per wait.
+        Poll {
+            registered: Vec<(RawFd, u64, Interest)>,
+        },
+    }
+
+    pub struct Poller {
+        backend: Backend,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: no pointer arguments.
+            let created = sys::check(unsafe {
+                sys::syscall6(sys::nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0)
+            });
+            let backend = match created {
+                Ok(epfd) => Backend::Epoll {
+                    epfd: epfd as RawFd,
+                    buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+                },
+                Err(_) => Backend::Poll {
+                    registered: Vec::new(),
+                },
+            };
+            Ok(Self { backend })
+        }
+
+        pub fn backend_name(&self) -> &'static str {
+            match &self.backend {
+                Backend::Epoll { .. } => "epoll",
+                Backend::Poll { .. } => "ppoll",
+            }
+        }
+
+        fn ctl(epfd: RawFd, op: usize, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+            let ptr = event
+                .as_ref()
+                .map_or(std::ptr::null(), |e| e as *const EpollEvent);
+            // SAFETY: `ptr` is null (DEL) or points at a live
+            // EpollEvent for the duration of the call.
+            sys::check(unsafe {
+                sys::syscall6(
+                    sys::nr::EPOLL_CTL,
+                    epfd as usize,
+                    op,
+                    fd as usize,
+                    ptr as usize,
+                    0,
+                    0,
+                )
+            })?;
+            Ok(())
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            match &mut self.backend {
+                Backend::Epoll { epfd, .. } => Self::ctl(
+                    *epfd,
+                    EPOLL_CTL_ADD,
+                    fd,
+                    Some(EpollEvent {
+                        events: interest_to_epoll(interest),
+                        data: token,
+                    }),
+                ),
+                Backend::Poll { registered } => {
+                    registered.push((fd, token, interest));
+                    Ok(())
+                }
+            }
+        }
+
+        pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            match &mut self.backend {
+                Backend::Epoll { epfd, .. } => Self::ctl(
+                    *epfd,
+                    EPOLL_CTL_MOD,
+                    fd,
+                    Some(EpollEvent {
+                        events: interest_to_epoll(interest),
+                        data: token,
+                    }),
+                ),
+                Backend::Poll { registered } => {
+                    for entry in registered.iter_mut() {
+                        if entry.0 == fd {
+                            entry.1 = token;
+                            entry.2 = interest;
+                            return Ok(());
+                        }
+                    }
+                    Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+                }
+            }
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            match &mut self.backend {
+                Backend::Epoll { epfd, .. } => Self::ctl(*epfd, EPOLL_CTL_DEL, fd, None),
+                Backend::Poll { registered } => {
+                    registered.retain(|entry| entry.0 != fd);
+                    Ok(())
+                }
+            }
+        }
+
+        /// Blocks until readiness or `timeout`, appending events.
+        /// `None` blocks indefinitely. EINTR is treated as an empty
+        /// wake, never an error.
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            match &mut self.backend {
+                Backend::Epoll { epfd, buf } => {
+                    let timeout_ms = timeout.map_or(-1i32, |d| {
+                        i32::try_from(d.as_millis()).unwrap_or(i32::MAX).max(0)
+                    });
+                    // SAFETY: `buf` outlives the call; maxevents bounds
+                    // what the kernel writes; sigmask is null.
+                    let got = sys::check(unsafe {
+                        sys::syscall6(
+                            sys::nr::EPOLL_PWAIT,
+                            *epfd as usize,
+                            buf.as_mut_ptr() as usize,
+                            buf.len(),
+                            timeout_ms as isize as usize,
+                            0,
+                            0,
+                        )
+                    });
+                    let got = match got {
+                        Ok(n) => n,
+                        Err(err) if err.kind() == io::ErrorKind::Interrupted => 0,
+                        Err(err) => return Err(err),
+                    };
+                    for raw in &buf[..got] {
+                        let flags = raw.events;
+                        events.push(Event {
+                            token: raw.data,
+                            readable: flags & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                            writable: flags & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                        });
+                    }
+                    Ok(())
+                }
+                Backend::Poll { registered } => {
+                    let mut fds: Vec<PollFd> = registered
+                        .iter()
+                        .map(|&(fd, _, interest)| PollFd {
+                            fd,
+                            events: if interest.readable { POLLIN } else { 0 }
+                                | if interest.writable { POLLOUT } else { 0 },
+                            revents: 0,
+                        })
+                        .collect();
+                    let ts = timeout.map(|d| Timespec {
+                        tv_sec: d.as_secs() as i64,
+                        tv_nsec: i64::from(d.subsec_nanos()),
+                    });
+                    let ts_ptr = ts
+                        .as_ref()
+                        .map_or(std::ptr::null(), |t| t as *const Timespec);
+                    // SAFETY: `fds` and `ts` outlive the call; sigmask
+                    // is null so sigsetsize is ignored.
+                    let got = sys::check(unsafe {
+                        sys::syscall6(
+                            sys::nr::PPOLL,
+                            fds.as_mut_ptr() as usize,
+                            fds.len(),
+                            ts_ptr as usize,
+                            0,
+                            0,
+                            0,
+                        )
+                    });
+                    match got {
+                        Ok(_) => {}
+                        Err(err) if err.kind() == io::ErrorKind::Interrupted => return Ok(()),
+                        Err(err) => return Err(err),
+                    }
+                    for (raw, &(_, token, _)) in fds.iter().zip(registered.iter()) {
+                        if raw.revents == 0 {
+                            continue;
+                        }
+                        events.push(Event {
+                            token,
+                            readable: raw.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+                            writable: raw.revents & (POLLOUT | POLLERR | POLLHUP) != 0,
+                        });
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            if let Backend::Epoll { epfd, .. } = &self.backend {
+                // SAFETY: closing an fd we own; no pointers.
+                let _ = unsafe { sys::syscall6(sys::nr::CLOSE, *epfd as usize, 0, 0, 0, 0, 0) };
+            }
+        }
+    }
+
+    const F_GETFL: usize = 3;
+    const F_SETFL: usize = 4;
+    const O_NONBLOCK: usize = 0o4000;
+
+    /// Puts `fd` into nonblocking mode (for pipes, which have no
+    /// `set_nonblocking` in std).
+    pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+        // SAFETY: fcntl with integer arguments only.
+        let flags =
+            sys::check(unsafe { sys::syscall6(sys::nr::FCNTL, fd as usize, F_GETFL, 0, 0, 0, 0) })?;
+        // SAFETY: as above.
+        sys::check(unsafe {
+            sys::syscall6(
+                sys::nr::FCNTL,
+                fd as usize,
+                F_SETFL,
+                flags | O_NONBLOCK,
+                0,
+                0,
+                0,
+            )
+        })?;
+        Ok(())
+    }
+
+    #[repr(C)]
+    struct Rlimit64 {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    const RLIMIT_NOFILE: usize = 7;
+
+    /// Tries to raise the fd limit to at least `target` (raising the
+    /// hard limit too when privileged). Returns the resulting soft
+    /// limit — callers size their connection budgets off it.
+    pub fn raise_nofile(target: u64) -> io::Result<u64> {
+        let mut current = Rlimit64 {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: null new-limit pointer reads the current limit into
+        // `current`, which outlives the call.
+        sys::check(unsafe {
+            sys::syscall6(
+                sys::nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                0,
+                &mut current as *mut Rlimit64 as usize,
+                0,
+                0,
+            )
+        })?;
+        if current.rlim_cur >= target {
+            return Ok(current.rlim_cur);
+        }
+        // Privileged processes may raise the hard limit outright.
+        let want = Rlimit64 {
+            rlim_cur: target,
+            rlim_max: target.max(current.rlim_max),
+        };
+        // SAFETY: both limit structs outlive the call.
+        let raised = sys::check(unsafe {
+            sys::syscall6(
+                sys::nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                &want as *const Rlimit64 as usize,
+                0,
+                0,
+                0,
+            )
+        });
+        if raised.is_ok() {
+            return Ok(target);
+        }
+        // Unprivileged: the hard limit is the ceiling.
+        let capped = Rlimit64 {
+            rlim_cur: current.rlim_max.min(target),
+            rlim_max: current.rlim_max,
+        };
+        // SAFETY: as above.
+        sys::check(unsafe {
+            sys::syscall6(
+                sys::nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                &capped as *const Rlimit64 as usize,
+                0,
+                0,
+                0,
+            )
+        })?;
+        Ok(capped.rlim_cur)
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    //! Stub for targets without the syscall shims: `Poller::new` fails
+    //! and the server falls back to the blocking driver.
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    // `RawFd` only exists on unix; elsewhere use an integer wide
+    // enough for any platform's descriptor so the API shape holds.
+    #[cfg(unix)]
+    use std::os::fd::RawFd;
+    #[cfg(not(unix))]
+    pub type RawFd = i64;
+
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "readiness polling requires linux x86_64/aarch64",
+            ))
+        }
+
+        pub fn backend_name(&self) -> &'static str {
+            "unsupported"
+        }
+
+        pub fn register(&mut self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn reregister(
+            &mut self,
+            _fd: RawFd,
+            _token: u64,
+            _interest: Interest,
+        ) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn deregister(&mut self, _fd: RawFd) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn wait(
+            &mut self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+    }
+
+    pub fn set_nonblocking(_fd: RawFd) -> io::Result<()> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "no fcntl shim"))
+    }
+
+    pub fn raise_nofile(_target: u64) -> io::Result<u64> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "no prlimit shim",
+        ))
+    }
+}
+
+pub use imp::{raise_nofile, set_nonblocking, Poller};
+
+use std::io::Write;
+
+/// Wakes a [`Poller`] parked in `wait` from another thread: one end of
+/// a pipe is registered with the poller, the other is written here.
+/// The `pending` flag coalesces bursts — between two loop drains, at
+/// most one byte sits in the pipe, so writes never block.
+pub struct Waker {
+    writer: std::io::PipeWriter,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    /// Returns the waker plus the read end the event loop registers
+    /// (already nonblocking) and drains.
+    pub fn new() -> io::Result<(Waker, std::io::PipeReader)> {
+        let (reader, writer) = std::io::pipe()?;
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            set_nonblocking(reader.as_raw_fd())?;
+        }
+        Ok((
+            Waker {
+                writer,
+                pending: AtomicBool::new(false),
+            },
+            reader,
+        ))
+    }
+
+    /// Clears the coalescing flag; the loop calls this right before
+    /// draining the pipe so a wake racing the drain writes a new byte.
+    pub fn begin_drain(&self) {
+        self.pending.store(false, Ordering::SeqCst);
+    }
+}
+
+impl runtime::Wake for Waker {
+    fn wake(&self) {
+        if !self.pending.swap(true, Ordering::SeqCst) {
+            // A full pipe (impossible under coalescing) or a dead
+            // reader (loop exiting) are both fine to ignore.
+            let _ = (&self.writer).write(&[1u8]);
+        }
+    }
+}
+
+/// Readiness + waker smoke tests (Linux-only; the stub fails `new`).
+#[cfg(all(
+    test,
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod tests {
+    use super::*;
+    use runtime::Wake;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn epoll_backend_is_selected_on_linux() {
+        let poller = Poller::new().expect("poller");
+        assert_eq!(poller.backend_name(), "epoll");
+    }
+
+    #[test]
+    fn readiness_surfaces_on_a_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+
+        // Nothing to read yet: a short wait times out empty.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        let mut server = server;
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+
+        // Write interest on an empty socket buffer fires immediately.
+        events.clear();
+        poller
+            .reregister(server.as_raw_fd(), 7, Interest::READ_WRITE)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.writable));
+
+        poller.deregister(server.as_raw_fd()).unwrap();
+        events.clear();
+        client.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered fd must stay silent");
+    }
+
+    #[test]
+    fn waker_unparks_a_waiting_poller_and_coalesces() {
+        let (waker, reader) = Waker::new().expect("waker");
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(reader.as_raw_fd(), 1, Interest::READ)
+            .unwrap();
+
+        let waker = std::sync::Arc::new(waker);
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            // A storm of wakes from another thread…
+            for _ in 0..100 {
+                remote.wake();
+            }
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        handle.join().unwrap();
+
+        // …collapses to at most one byte in the pipe.
+        waker.begin_drain();
+        let mut drained = [0u8; 16];
+        let mut reader = reader;
+        let n = reader.read(&mut drained).unwrap();
+        assert_eq!(n, 1, "coalescing must keep the pipe at one byte");
+    }
+
+    #[test]
+    fn raise_nofile_reports_a_usable_budget() {
+        let limit = raise_nofile(1024).expect("query/raise RLIMIT_NOFILE");
+        assert!(limit >= 256, "implausibly low fd budget: {limit}");
+    }
+}

@@ -22,8 +22,10 @@
 //!   `access` events whose `method` is a known verb, whose `status` is
 //!   in the served protocol's vocabulary (200/400/404/405/409/413/500),
 //!   whose `generation` never decreases globally (snapshot swaps are
-//!   totally ordered), and whose `ts_micros` is monotone non-decreasing
-//!   per `conn` (events on one connection are serialized). Like
+//!   totally ordered), whose `ts_micros` is monotone non-decreasing
+//!   per `conn` (events on one connection are serialized), and whose
+//!   numeric `shard` / `lag_micros` fields are present — `shard` must
+//!   stay inside the manifest's declared `shards` count. Like
 //!   `--trace`, it may be used alone.
 //!
 //! Exit code 0 on success, 1 with a diagnostic on the first violation.
@@ -74,8 +76,13 @@ fn check_access_log(path: &str) -> Result<String, String> {
         ));
     }
 
+    // A PR-6 manifest discloses the shard count; when present, every
+    // event's `shard` must stay inside it.
+    let declared_shards = manifest.get("shards").and_then(Json::as_u64);
+
     let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
     let mut last_generation: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut shards_seen: BTreeMap<u64, u64> = BTreeMap::new();
     let mut max_generation = 0u64;
     let mut events = 0u64;
     for (lineno, line) in lines {
@@ -100,6 +107,16 @@ fn check_access_log(path: &str) -> Result<String, String> {
         let generation = field("generation")?;
         let ts = field("ts_micros")?;
         field("micros")?;
+        field("lag_micros")?;
+        let shard = field("shard")?;
+        if let Some(n) = declared_shards {
+            if shard >= n.max(1) {
+                return Err(at(format!(
+                    "shard {shard} outside the manifest's {n} shard(s)"
+                )));
+            }
+        }
+        *shards_seen.entry(shard).or_insert(0) += 1;
         let method = value
             .get("method")
             .and_then(Json::as_str)
@@ -139,8 +156,9 @@ fn check_access_log(path: &str) -> Result<String, String> {
         last_ts.insert(conn, ts);
     }
     Ok(format!(
-        "access log OK — {events} request(s) on {} connection(s), {} generation(s)",
+        "access log OK — {events} request(s) on {} connection(s), {} shard(s), {} generation(s)",
         last_ts.len(),
+        shards_seen.len().max(1),
         max_generation + 1
     ))
 }

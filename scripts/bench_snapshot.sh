@@ -2,13 +2,14 @@
 # Records a perf-baseline snapshot (BENCH_*.json) by chaining the
 # timing experiment and the serving experiment into one cumulative
 # `poisonrec-bench-v1` file (exp_timing writes the attack-loop metrics,
-# exp_serve seeds from them via --bench-base and appends the wire-path
-# p50/p95/p99 plus retrain-churn read latency), so future PRs can gate
-# against it with `perf_diff` (DESIGN.md §5d–e).
+# exp_serve seeds from them via --bench-base and appends the
+# connections × shards wire-path p50/p95/p99 grid, the idle keep-alive
+# fleet numbers, and the retrain-churn read latency), so future PRs can
+# gate against it with `perf_diff` (DESIGN.md §5d–f).
 #
 #   scripts/bench_snapshot.sh [OUT.json]
 #
-# OUT defaults to BENCH_PR5.json at the repo root. All workload knobs
+# OUT defaults to BENCH_PR6.json at the repo root. All workload knobs
 # are env-overridable so CI can run a tiny variant into a temp dir:
 #
 #   BENCH_SCALE=0.02 BENCH_STEPS=1 BENCH_EPISODES=4 BENCH_EVAL_USERS=32 \
@@ -20,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 scale="${BENCH_SCALE:-0.05}"
 steps="${BENCH_STEPS:-3}"
 episodes="${BENCH_EPISODES:-8}"
@@ -63,5 +64,15 @@ echo "==> validating the trace and access log behind the snapshot"
 
 echo "==> perf_diff self-compare (a fresh snapshot must gate itself)"
 ./target/release/perf_diff "$out" "$out" >/dev/null
+
+# Gate the full-size snapshot against the previous committed baseline.
+# The retrain-under-churn read keys are the stable names shared across
+# PRs; the acceptance bar for the event-loop redesign is "within 2x",
+# hence --threshold 1.0 (CI's env-shrunken tiny variant is a different
+# workload, so only the default full run is comparable).
+if [ "$out" = "BENCH_PR6.json" ] && [ -f BENCH_PR5.json ]; then
+    echo "==> perf_diff vs committed BENCH_PR5.json (2x allowance)"
+    ./target/release/perf_diff BENCH_PR5.json "$out" --threshold 1.0
+fi
 
 echo "bench snapshot recorded: $out"

@@ -77,15 +77,18 @@ cargo run --release -p bench --bin exp_fig4 -- \
 cargo run --release -p telemetry --bin validate_jsonl -- --trace "$trace_dir/trace.json"
 cargo run --release -p telemetry --bin trace_report -- "$trace_dir/trace.json" >/dev/null
 
-echo "==> serve smoke (over-the-wire attack cell + load burst + access log)"
+echo "==> serve smoke (over-the-wire attack cell + sharded load grid + access log)"
 # exp_serve replays a tiny fig-4 cell through RemoteSystem over a real
-# socket (asserting bit-identical rewards), runs a small load burst
-# (asserting zero non-200s), churns retrains under read load, and
-# shuts down gracefully — its exit code is non-zero if any accepted
-# request was dropped. The access log it leaves behind must validate.
+# socket (asserting bit-identical rewards at the highest shard count),
+# sweeps a connections × shards load grid on persistent keep-alive
+# connections (asserting zero non-200s and no reconnect-per-request),
+# churns retrains under read load, and shuts down gracefully — its
+# exit code is non-zero if any accepted request was dropped. The
+# access log it leaves behind must validate, including the per-event
+# shard and lag_micros fields.
 serve_dir="$smoke_dir/serve"
 mkdir -p "$serve_dir"
-SERVE_THREADS_GRID=2 SERVE_K_GRID=5 SERVE_REQUESTS=60 \
+SERVE_SHARDS_GRID=1,2 SERVE_CONNS_GRID=2 SERVE_REQUESTS=60 SERVE_IDLE_CONNS=0 \
 SERVE_ACCESS_LOG="$serve_dir/access.jsonl" \
 cargo run --release -p bench --bin exp_serve -- \
     --scale 0.02 --steps 1 --episodes 2 --attackers 4 --trajectory 5 \
@@ -94,12 +97,27 @@ cargo run --release -p bench --bin exp_serve -- \
 cargo run --release -p telemetry --bin validate_jsonl -- \
     --access-log "$serve_dir/access.jsonl"
 
+echo "==> high-connection smoke (1k idle keep-alive conns on the event loop)"
+# The event loop holds 1k idle keep-alive connections on its fixed
+# thread set while the grid and retrain churn run; the access log must
+# still validate (shard field in bounds, per-conn clocks monotone).
+many_dir="$smoke_dir/many_conns"
+mkdir -p "$many_dir"
+SERVE_SHARDS_GRID=2 SERVE_CONNS_GRID=2 SERVE_REQUESTS=40 SERVE_IDLE_CONNS=1000 \
+SERVE_ACCESS_LOG="$many_dir/access.jsonl" \
+cargo run --release -p bench --bin exp_serve -- \
+    --scale 0.02 --steps 1 --episodes 2 --attackers 4 --trajectory 5 \
+    --dim 8 --eval-users 8 --rankers itempop --threads 2 \
+    --out "$many_dir" >/dev/null
+cargo run --release -p telemetry --bin validate_jsonl -- \
+    --access-log "$many_dir/access.jsonl"
+
 echo "==> perf gate (tiny bench snapshot + perf_diff both ways)"
 # A fresh snapshot must pass against itself, and the committed +20%
 # regression fixture must fail the gate (exit non-zero).
 BENCH_SCALE=0.02 BENCH_STEPS=1 BENCH_EPISODES=4 BENCH_EVAL_USERS=32 BENCH_THREADS=2 \
 BENCH_SERVE_STEPS=1 BENCH_SERVE_EPISODES=2 BENCH_SERVE_EVAL_USERS=8 \
-SERVE_THREADS_GRID=2 SERVE_K_GRID=5 SERVE_REQUESTS=60 \
+SERVE_SHARDS_GRID=1,2 SERVE_CONNS_GRID=2 SERVE_REQUESTS=60 SERVE_IDLE_CONNS=200 \
     scripts/bench_snapshot.sh "$smoke_dir/BENCH_tiny.json" >/dev/null
 cargo run --release -p telemetry --bin perf_diff -- \
     "$smoke_dir/BENCH_tiny.json" "$smoke_dir/BENCH_tiny.json" >/dev/null

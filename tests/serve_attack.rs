@@ -60,7 +60,9 @@ fn start_server(cfg: ServerConfig) -> (Server, String) {
 
 /// The tentpole criterion: an identical-seed attack cell trained
 /// through `RemoteSystem` over a real socket produces a bit-identical
-/// reward history to the in-process run.
+/// reward history to the in-process run — at every shard count. The
+/// sharded serving state (per-shard snapshot cells, seq-merged
+/// feedback queues) must be invisible to the attacker.
 #[test]
 fn remote_attack_is_bit_identical_to_in_process() {
     const STEPS: usize = 2;
@@ -75,33 +77,37 @@ fn remote_attack_is_bit_identical_to_in_process() {
         .map(|s| (s.mean_reward, s.max_reward))
         .collect();
 
-    // Identical system, served; attack over the wire.
-    let (server, addr) = start_server(ServerConfig {
-        threads: 2,
-        ..ServerConfig::default()
-    });
-    let remote = RemoteSystem::connect(addr).expect("connect to served system");
-    assert_eq!(remote.ranker_name(), reference.ranker_name());
-    let mut over_wire = PoisonRecTrainer::new(quick_cfg(21), &remote);
-    over_wire.train(&remote, STEPS);
-    let remote_history: Vec<(f32, f32)> = over_wire
-        .history()
-        .iter()
-        .map(|s| (s.mean_reward, s.max_reward))
-        .collect();
+    // Identical system, served at each shard count; attack over the wire.
+    for shards in [1usize, 4] {
+        let (server, addr) = start_server(ServerConfig {
+            threads: 2,
+            shards,
+            ..ServerConfig::default()
+        });
+        let remote = RemoteSystem::connect(addr).expect("connect to served system");
+        assert_eq!(remote.ranker_name(), reference.ranker_name());
+        assert_eq!(remote.shards(), shards, "served shard count undisclosed");
+        let mut over_wire = PoisonRecTrainer::new(quick_cfg(21), &remote);
+        over_wire.train(&remote, STEPS);
+        let remote_history: Vec<(f32, f32)> = over_wire
+            .history()
+            .iter()
+            .map(|s| (s.mean_reward, s.max_reward))
+            .collect();
 
-    assert_eq!(
-        local_history, remote_history,
-        "over-the-wire attack diverged from the in-process run"
-    );
-    assert_eq!(
-        remote.observations_spent(),
-        reference.observations_spent(),
-        "remote attack consumed a different observation budget"
-    );
+        assert_eq!(
+            local_history, remote_history,
+            "over-the-wire attack diverged from the in-process run at {shards} shard(s)"
+        );
+        assert_eq!(
+            remote.observations_spent(),
+            reference.observations_spent(),
+            "remote attack consumed a different observation budget at {shards} shard(s)"
+        );
 
-    let stats = server.shutdown();
-    assert_eq!(stats.dropped(), 0, "shutdown dropped requests");
+        let stats = server.shutdown();
+        assert_eq!(stats.dropped(), 0, "shutdown dropped requests");
+    }
 }
 
 /// Graceful shutdown under concurrent read load: every request the
@@ -152,31 +158,36 @@ fn graceful_shutdown_completes_inflight_requests_under_load() {
 
 /// A handler panic injected via `runtime::FaultPlan` is contained: the
 /// faulted request gets a 500, the connection stays sane, and the
-/// server keeps serving 200s afterwards.
+/// server keeps serving 200s afterwards. Both byte-moving drivers run
+/// the same `Connection` machine, so both must behave identically.
 #[test]
 fn fault_injected_panic_returns_500_and_server_keeps_serving() {
-    let (server, addr) = start_server(ServerConfig {
-        threads: 1,
-        fault_plan: Some(Arc::new(FaultPlan::new().panic_on_job(2))),
-        ..ServerConfig::default()
-    });
+    for driver in [serve::DriverKind::Event, serve::DriverKind::Blocking] {
+        let (server, addr) = start_server(ServerConfig {
+            threads: 1,
+            driver,
+            fault_plan: Some(Arc::new(FaultPlan::new().panic_on_job(2))),
+            ..ServerConfig::default()
+        });
+        assert_eq!(server.driver(), driver, "requested driver not honored");
 
-    let mut client = HttpClient::new(addr);
-    let mut statuses = Vec::new();
-    for _ in 0..5 {
-        let (status, body) = client.request("GET", "/healthz", None).expect("request");
-        if status == 500 {
-            assert_eq!(
-                body.get("error").and_then(telemetry::json::Json::as_str),
-                Some("internal error")
-            );
+        let mut client = HttpClient::new(addr);
+        let mut statuses = Vec::new();
+        for _ in 0..5 {
+            let (status, body) = client.request("GET", "/healthz", None).expect("request");
+            if status == 500 {
+                assert_eq!(
+                    body.get("error").and_then(telemetry::json::Json::as_str),
+                    Some("internal error")
+                );
+            }
+            statuses.push(status);
         }
-        statuses.push(status);
-    }
-    // Work-unit ordinals count from 0, so the plan fires on request #3.
-    assert_eq!(statuses, vec![200, 200, 500, 200, 200]);
+        // Work-unit ordinals count from 0, so the plan fires on request #3.
+        assert_eq!(statuses, vec![200, 200, 500, 200, 200], "driver {driver:?}");
 
-    let stats = server.shutdown();
-    assert_eq!(stats.dropped(), 0);
-    assert_eq!(stats.accepted, 5);
+        let stats = server.shutdown();
+        assert_eq!(stats.dropped(), 0);
+        assert_eq!(stats.accepted, 5);
+    }
 }
