@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recsys::data::Trajectory;
 use tensor::nn::{Activation, LstmCell, Mlp};
-use tensor::{GradStore, Graph, Matrix, ParamId, ParamSet, Var};
+use tensor::{GradStore, Graph, GraphArena, Matrix, ParamId, ParamSet, Var};
 
 use crate::action::{ActionSpace, Choice, ChoiceSet};
 
@@ -189,9 +189,20 @@ impl PolicyNetwork {
     /// whose rows align with the sampling-time `old_logps`. Grouping
     /// keeps the tape small — the PPO update weights whole columns.
     pub fn replay_logps<'p>(&'p self, episode: &Episode) -> (Graph<'p>, Vec<(Var, Vec<f32>)>) {
+        self.replay_logps_in(episode, &mut GraphArena::new())
+    }
+
+    /// Like [`PolicyNetwork::replay_logps`] but draws the graph's
+    /// allocations from `arena` (retire the graph back into it after
+    /// the backward sweeps so the next replay reuses the buffers).
+    pub fn replay_logps_in<'p>(
+        &'p self,
+        episode: &Episode,
+        arena: &mut GraphArena,
+    ) -> (Graph<'p>, Vec<(Var, Vec<f32>)>) {
         let n = self.cfg.num_attackers.min(episode.trajectories.len());
         let t_len = self.cfg.trajectory_len;
-        let mut g = Graph::new(&self.params);
+        let mut g = Graph::new_in(&self.params, arena);
         let mut state = self.lstm.zero_state(&mut g, n);
         let user_rows: Vec<u32> = (0..n as u32).collect();
         let mut x = g.gather(self.user_emb, &user_rows);
@@ -262,8 +273,7 @@ impl PolicyNetwork {
             let ll = g.matmul(pl, ones); // (K x 1) left logits
             let lr = g.matmul(pr, ones);
             let logits = g.concat_cols(ll, lr); // (K x 2)
-            let lp = g.log_softmax_rows(logits);
-            let picked = g.pick_per_row(lp, &pair_chosen); // (K x 1)
+            let picked = g.log_softmax_pick(logits, &pair_chosen); // (K x 1)
             groups.push((picked, pair_old));
         }
         for ((start, end), (rows, chosen, olds)) in ranges {
@@ -271,8 +281,7 @@ impl PolicyNetwork {
             let dk = g.gather_var(d_all, &rows); // (K x e)
             let table = g.gather(self.action_emb, &table_rows); // (R x e)
             let logits = g.matmul_t(dk, table); // (K x R)
-            let lp = g.log_softmax_rows(logits);
-            let picked = g.pick_per_row(lp, &chosen);
+            let picked = g.log_softmax_pick(logits, &chosen);
             groups.push((picked, olds));
         }
         (g, groups)

@@ -11,7 +11,7 @@
 
 use tensor::optim::{Adam, Optimizer};
 use tensor::util::{mean, std_dev};
-use tensor::Matrix;
+use tensor::{GradStore, GraphArena, Matrix};
 
 use crate::policy::{Episode, PolicyNetwork};
 
@@ -67,12 +67,22 @@ pub fn normalize_rewards(rewards: &[f32]) -> Vec<f32> {
 pub struct PpoUpdater {
     cfg: PpoConfig,
     opt: Adam,
+    /// Replay-graph allocations recycled across `update_batch` calls
+    /// (scratch only — never checkpointed, never affects results).
+    arena: GraphArena,
+    /// Gradient buffers recycled across calls (zeroed before each use).
+    grads: Option<GradStore>,
 }
 
 impl PpoUpdater {
     pub fn new(cfg: PpoConfig, policy: &PolicyNetwork) -> Self {
         let opt = Adam::new(policy.params(), cfg.lr);
-        Self { cfg, opt }
+        Self {
+            cfg,
+            opt,
+            arena: GraphArena::new(),
+            grads: None,
+        }
     }
 
     pub fn config(&self) -> &PpoConfig {
@@ -101,7 +111,13 @@ impl PpoUpdater {
         advantages: &[f32],
     ) -> f32 {
         assert_eq!(episodes.len(), advantages.len());
-        let mut grads = policy.zero_grads();
+        let mut grads = match self.grads.take() {
+            Some(mut grads) => {
+                grads.zero();
+                grads
+            }
+            None => policy.zero_grads(),
+        };
         let mut weight_mass = 0.0f32;
         let mut n_decisions = 0usize;
 
@@ -110,8 +126,7 @@ impl PpoUpdater {
                 continue;
             }
             let total = ep.num_decisions().max(1) as f32;
-            let (g, groups) = policy.replay_logps(ep);
-            let mut g = g;
+            let (mut g, groups) = policy.replay_logps_in(ep, &mut self.arena);
             for (var, olds) in &groups {
                 let col = g.value(*var).clone(); // K x 1 new logps
                 let k = olds.len();
@@ -144,10 +159,12 @@ impl PpoUpdater {
                 let scale = -1.0 / (total * episodes.len() as f32);
                 g.backward_weighted(obj, scale, &mut grads);
             }
+            g.retire(&mut self.arena);
         }
 
         grads.clip_global_norm(self.cfg.max_grad_norm);
         self.opt.step(policy.params_mut(), &grads);
+        self.grads = Some(grads);
         if n_decisions == 0 {
             0.0
         } else {

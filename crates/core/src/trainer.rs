@@ -307,6 +307,10 @@ impl PoisonRecTrainer {
     /// out over up to [`PoisonRecConfig::threads`] threads.
     pub fn step(&mut self, system: &dyn ObservableSystem) -> StepStats {
         let m = self.cfg.ppo.samples_per_step;
+        // Let the tensor kernels use the same thread budget as the
+        // scoring fan-out. Kernel results are bit-identical at any
+        // thread count, so this only changes wall time.
+        tensor::kernel::set_threads(self.cfg.threads);
 
         // Sample phase (sequential): the only consumer of the trainer
         // RNG, so the policy's sampling stream never depends on how

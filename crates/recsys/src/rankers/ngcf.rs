@@ -131,11 +131,9 @@ impl Ngcf {
         for &(w1, w2) in &state.weights {
             let le = g.spmm(Arc::clone(&state.laplacian), e);
             let le_plus_e = g.add(le, e);
-            let w1v = g.param(w1);
-            let term1 = g.matmul(le_plus_e, w1v);
+            let term1 = g.matmul_param(le_plus_e, w1);
             let inter = g.mul(le, e);
-            let w2v = g.param(w2);
-            let term2 = g.matmul(inter, w2v);
+            let term2 = g.matmul_param(inter, w2);
             let summed = g.add(term1, term2);
             e = g.leaky_relu(summed, 0.2);
             all = g.concat_cols(all, e);

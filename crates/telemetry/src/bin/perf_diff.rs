@@ -3,14 +3,20 @@
 //! the CI bench stage (DESIGN.md §5d).
 //!
 //! ```text
-//! perf_diff <baseline.json> <candidate.json> [--threshold R]
+//! perf_diff <baseline.json> <candidate.json> [--threshold R] [--only PREFIX]...
 //! ```
 //!
 //! Every metric is lower-is-better wall time. A metric regresses when
-//! `candidate > baseline * (1 + R)`; `R` defaults to 0.10 (+10%).
-//! Metrics present on only one side are reported but never fail the
-//! gate. Exit code: 0 when no metric regressed, 1 otherwise (or on a
-//! malformed snapshot).
+//! `candidate > baseline * (1 + R)`; `R` defaults to 0.10 (+10%). A
+//! *negative* threshold turns the gate into a must-improve check:
+//! `--threshold -0.5` fails any metric that is not at least 2x faster
+//! than baseline, `--threshold -0.6667` demands 3x. Repeatable
+//! `--only PREFIX` restricts the comparison to metrics whose name
+//! starts with any given prefix (so a must-improve gate can target the
+//! hot path without demanding speedups everywhere). Metrics present on
+//! only one side are reported but never fail the gate. Exit code: 0
+//! when no compared metric regressed, 1 otherwise (or on a malformed
+//! snapshot, or when `--only` matches nothing).
 
 use std::process::ExitCode;
 
@@ -31,12 +37,20 @@ fn load(path: &str) -> Result<BenchSnapshot, String> {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let (Some(base_path), Some(cand_path)) = (args.next(), args.next()) else {
-        return fail("usage: perf_diff <baseline.json> <candidate.json> [--threshold R]".into());
+        return fail(
+            "usage: perf_diff <baseline.json> <candidate.json> [--threshold R] [--only PREFIX]..."
+                .into(),
+        );
     };
     let mut threshold = perf::DEFAULT_THRESHOLD;
+    let mut only: Vec<String> = Vec::new();
     while let Some(flag) = args.next() {
-        match (flag.as_str(), args.next().and_then(|v| v.parse().ok())) {
-            ("--threshold", Some(r)) => threshold = r,
+        match (flag.as_str(), args.next()) {
+            ("--threshold", Some(v)) => match v.parse() {
+                Ok(r) => threshold = r,
+                Err(_) => return fail(format!("bad threshold: {v}")),
+            },
+            ("--only", Some(prefix)) => only.push(prefix),
             (other, _) => return fail(format!("bad flag or value: {other}")),
         }
     }
@@ -51,7 +65,7 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "baseline `{}` ({}) vs candidate `{}` ({}), threshold +{:.0}%",
+        "baseline `{}` ({}) vs candidate `{}` ({}), threshold {:+.1}%",
         baseline.label,
         base_path,
         candidate.label,
@@ -62,7 +76,13 @@ fn main() -> ExitCode {
         "{:<44} {:>14} {:>14} {:>9}  verdict",
         "metric", "baseline", "candidate", "delta"
     );
-    let rows = perf::diff(&baseline, &candidate, threshold);
+    let mut rows = perf::diff(&baseline, &candidate, threshold);
+    if !only.is_empty() {
+        rows.retain(|row| only.iter().any(|prefix| row.name.starts_with(prefix)));
+        if rows.is_empty() {
+            return fail(format!("--only {} matched no metrics", only.join(" ")));
+        }
+    }
     for row in &rows {
         let fmt = |v: Option<f64>| v.map_or_else(|| "-".into(), |v| format!("{v:.6}"));
         let delta = row
@@ -89,7 +109,7 @@ fn main() -> ExitCode {
         .count();
     if regressed > 0 {
         eprintln!(
-            "perf_diff: {regressed} metric(s) regressed beyond +{:.0}%",
+            "perf_diff: {regressed} metric(s) regressed beyond {:+.1}%",
             threshold * 100.0
         );
         return ExitCode::FAILURE;

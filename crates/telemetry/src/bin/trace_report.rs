@@ -147,7 +147,9 @@ fn main() -> ExitCode {
             bwd_calls,
             bwd_ns,
             elems: field("elems").unwrap_or(0),
-            flops: field("flops").unwrap_or(0),
+            // Forward + backward FLOP estimates (bwd_flops is absent
+            // in pre-PR7 traces; treat as 0).
+            flops: field("flops").unwrap_or(0) + field("bwd_flops").unwrap_or(0),
         });
     }
     ops.sort_by_key(|row| std::cmp::Reverse(row.fwd_ns + row.bwd_ns));

@@ -1,0 +1,423 @@
+//! Cache-blocked, pool-parallel matmul kernels behind [`crate::Matrix`].
+//!
+//! Three products cover every hot path on the tape: `A·B` (`matmul`),
+//! `A·Bᵀ` (`matmul_t`, the logits-against-embedding-table shape) and
+//! `Aᵀ·B` (`t_matmul`, the weight-gradient shape). All three reduce to
+//! one accumulation structure
+//!
+//! ```text
+//! out[i][j] += lhs(i, k) * rhs[k][j]      for k = 0, 1, 2, ... ascending
+//! ```
+//!
+//! where `rhs` is traversed row-major along the shared dimension `k`
+//! (so the inner loop over `j` is contiguous and vectorizes) and `lhs`
+//! is either row-major (`lhs(i, k) = a[i*ac + k]`, a scalar per `j`
+//! sweep) or `k`-major (`lhs(i, k) = a[k*m + i]`, the natural layout of
+//! `t_matmul`'s transposed operand). `matmul_t` materializes `Bᵀ` into
+//! a thread-local scratch first — an `O(R·e)` copy that converts the
+//! serial column-strided dot products of the naive form into the same
+//! contiguous-`j` kernel, breaking the one-chain-per-element FMA
+//! dependency that capped it near 1.5 GFLOP/s.
+//!
+//! ## Bit-exactness contract
+//!
+//! Every kernel — blocked, parallel, or reference — feeds each output
+//! element its `k` contributions *in ascending order through a single
+//! accumulator chain starting at `+0.0`*. The register micro-tiles and
+//! `k`-blocks only reorder work *across* output elements: `k`-blocks
+//! run in ascending order with partial sums parked in `out` between
+//! blocks (an exact f32 store/load round-trip), so per element the
+//! chain is unbroken. The parallel dispatch partitions output **rows** into
+//! fixed-size chunks whose size depends only on the operand shapes —
+//! never on the thread count — with each chunk written by exactly one
+//! job through a disjoint `&mut` slab. There is no merge step and no
+//! reduction tree, so results are fully bit-identical at any thread
+//! count, and match the naive reference bit-for-bit on every non-NaN
+//! value. (NaN *sign/payload* may differ from the reference: IEEE 754
+//! leaves NaN propagation to the implementation, and instruction
+//! operand order differs between loop shapes — NaN-ness itself always
+//! agrees elementwise.) The references (and the kernels) have no
+//! `== 0.0` fast path: `0.0 * NaN` is `NaN` and `0.0 * inf` is `NaN`,
+//! exactly as IEEE 754 demands, so non-finite blowups propagate
+//! instead of being silently zeroed (DESIGN.md §5g).
+//!
+//! All entry points require `out` to be zero-filled by the caller
+//! (`Matrix` allocates zeroed; the graph arena re-zeroes recycled
+//! buffers), and accumulate into it.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+/// Worker threads the implicit entry points on [`crate::Matrix`] may
+/// use. Defaults to 1 (fully serial); the trainer sets it from its
+/// `threads` knob. Thread count never changes results (see the module
+/// docs), only wall time.
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide kernel thread budget, clamped to
+/// `[1, available cores]`: oversubscribing a small machine only adds
+/// dispatch overhead (results are thread-count-invariant either way,
+/// so the clamp never changes bits).
+pub fn set_threads(threads: usize) {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    THREADS.store(threads.clamp(1, cores), Relaxed);
+}
+
+/// The current process-wide kernel thread budget.
+pub fn threads() -> usize {
+    THREADS.load(Relaxed)
+}
+
+/// Rows per register micro-tile.
+const MR: usize = 4;
+/// Columns per register micro-tile (two 8-lane f32 vectors).
+const NR: usize = 16;
+/// `k`-block length: bounds the `rhs` strip each sweep touches so it
+/// stays cache-resident. Blocks are visited in ascending order and
+/// partial sums park in `out` between blocks, so every element still
+/// receives its `k` contributions through one ascending chain.
+const KC: usize = 512;
+
+/// Minimum FLOPs before the parallel dispatch is worth its batch
+/// bookkeeping; below this everything runs inline on the caller.
+const PAR_MIN_FLOPS: usize = 1 << 20;
+/// Target FLOPs per parallel chunk. Chunk size is a function of shape
+/// only, so the row partition is identical at every thread count.
+const PAR_CHUNK_FLOPS: usize = 1 << 22;
+
+/// How the shared dimension is laid out in the left operand.
+#[derive(Copy, Clone)]
+enum Lhs<'a> {
+    /// `lhs(i, k) = a[i*ac + k]` — `A` row-major (matmul, matmul_t).
+    RowMajor { a: &'a [f32], ac: usize },
+    /// `lhs(i, k) = a[k*m + i]` — the shared dim is `A`'s row axis
+    /// (t_matmul reads its operand in storage order).
+    KMajor { a: &'a [f32], m: usize },
+}
+
+#[inline(always)]
+fn lhs_at(lhs: Lhs<'_>, i: usize, k: usize) -> f32 {
+    match lhs {
+        Lhs::RowMajor { a, ac } => a[i * ac + k],
+        Lhs::KMajor { a, m } => a[k * m + i],
+    }
+}
+
+/// `MR x NR` register micro-tile over one `k`-block: accumulators live
+/// in registers across the whole block, cutting `out` traffic to one
+/// load + one store per block (the element-pass form reloads every
+/// output row once per `k`). Each accumulator lane is one element's
+/// chain, fed `k` ascending — bit-identical to the naive loop.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_body(
+    lhs: Lhs<'_>,
+    i0: usize,
+    i: usize,
+    k0: usize,
+    kw: usize,
+    rhs: &[f32],
+    n: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_r) in acc.iter_mut().enumerate() {
+        acc_r.copy_from_slice(&out[(i + r) * n + j0..][..NR]);
+    }
+    for k in k0..k0 + kw {
+        let rv: &[f32; NR] = rhs[k * n + j0..][..NR].try_into().unwrap();
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let lv = lhs_at(lhs, i0 + i + r, k);
+            for (o, &x) in acc_r.iter_mut().zip(rv) {
+                *o += lv * x;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        out[(i + r) * n + j0..][..NR].copy_from_slice(acc_r);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn micro_portable(
+    lhs: Lhs<'_>,
+    i0: usize,
+    i: usize,
+    k0: usize,
+    kw: usize,
+    rhs: &[f32],
+    n: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    micro_body(lhs, i0, i, k0, kw, rhs, n, j0, out);
+}
+
+/// The same micro-tile compiled for AVX2 (8-lane f32) and selected at
+/// runtime. Only the matmul micro-kernel is feature-gated: building
+/// the whole crate for a wider ISA slows the libm-bound elementwise
+/// ops (AVX↔SSE transition penalties around every `expf`/`tanhf`
+/// call), while the micro-tile is pure mul/add and only gets wider
+/// lanes. Vector width never changes results — each output element
+/// keeps its own scalar-order accumulation chain (no horizontal
+/// reductions, no float contraction), so portable and AVX2 copies
+/// agree bit-for-bit on every non-NaN value.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+fn micro_avx2(
+    lhs: Lhs<'_>,
+    i0: usize,
+    i: usize,
+    k0: usize,
+    kw: usize,
+    rhs: &[f32],
+    n: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    micro_body(lhs, i0, i, k0, kw, rhs, n, j0, out);
+}
+
+/// Picks the widest micro-kernel the host supports (cached by std's
+/// feature-detection macro). The choice is a property of the machine,
+/// not of the thread count or shape, so dispatch cannot introduce
+/// nondeterminism within a run.
+fn micro_kernel() -> MicroFn {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: gated on runtime AVX2 detection; the function body
+        // is ordinary safe Rust, only its codegen needs the feature.
+        return |lhs, i0, i, k0, kw, rhs, n, j0, out| unsafe {
+            micro_avx2(lhs, i0, i, k0, kw, rhs, n, j0, out)
+        };
+    }
+    micro_portable
+}
+
+type MicroFn = fn(Lhs<'_>, usize, usize, usize, usize, &[f32], usize, usize, &mut [f32]);
+
+/// Element-pass fallback for edge rows/columns: same accumulation
+/// order as the micro-tile, no register blocking.
+#[allow(clippy::too_many_arguments)]
+fn scalar_edge(
+    lhs: Lhs<'_>,
+    i0: usize,
+    k0: usize,
+    kw: usize,
+    ilo: usize,
+    ihi: usize,
+    rhs: &[f32],
+    n: usize,
+    jlo: usize,
+    jhi: usize,
+    out: &mut [f32],
+) {
+    for k in k0..k0 + kw {
+        let rhs_row = &rhs[k * n + jlo..k * n + jhi];
+        for ii in ilo..ihi {
+            let lv = lhs_at(lhs, i0 + ii, k);
+            let out_row = &mut out[ii * n + jlo..ii * n + jhi];
+            for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                *o += lv * r;
+            }
+        }
+    }
+}
+
+/// Accumulates `out[i0..i0+iw) x [0, n)` of `lhs · rhs`; `out` is the
+/// slab for exactly those rows. `k` contributions ascend per element:
+/// `k`-blocks run in ascending order (partial sums parked in `out`
+/// between blocks), and within a block each element is touched by
+/// exactly one micro-tile or edge pass, again with `k` ascending.
+fn block(lhs: Lhs<'_>, k_dim: usize, i0: usize, iw: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), iw * n);
+    if n == 0 || iw == 0 || k_dim == 0 {
+        return;
+    }
+    let micro = micro_kernel();
+    let n_main = n - n % NR;
+    let i_main = iw - iw % MR;
+    let mut k0 = 0;
+    while k0 < k_dim {
+        let kw = KC.min(k_dim - k0);
+        let mut j0 = 0;
+        while j0 < n_main {
+            let mut i = 0;
+            while i < i_main {
+                micro(lhs, i0, i, k0, kw, rhs, n, j0, out);
+                i += MR;
+            }
+            if i < iw {
+                scalar_edge(lhs, i0, k0, kw, i, iw, rhs, n, j0, j0 + NR, out);
+            }
+            j0 += NR;
+        }
+        if n_main < n {
+            scalar_edge(lhs, i0, k0, kw, 0, iw, rhs, n, n_main, n, out);
+        }
+        k0 += kw;
+    }
+}
+
+/// Shared dispatch: partitions the `out_rows` of the product into
+/// shape-determined chunks and runs them over the global worker pool
+/// when the work is large enough, inline otherwise.
+fn run_blocked(lhs: Lhs<'_>, k_dim: usize, rhs: &[f32], n: usize, out: &mut [f32], threads: usize) {
+    let out_rows = out.len().checked_div(n).unwrap_or(0);
+    debug_assert_eq!(out.len(), out_rows * n);
+    let flops_per_row = 2 * k_dim * n;
+    let total_flops = flops_per_row * out_rows;
+    // Chunks are rounded to a micro-tile multiple so every chunk's
+    // micro/edge row split matches the serial full-slab pass — the
+    // instruction path per row (and so even NaN payload propagation)
+    // is then identical at every thread count.
+    let chunk_rows = PAR_CHUNK_FLOPS
+        .div_ceil(flops_per_row.max(1))
+        .next_multiple_of(MR)
+        .clamp(1, out_rows.max(1));
+    if threads <= 1 || total_flops < PAR_MIN_FLOPS || chunk_rows >= out_rows {
+        block(lhs, k_dim, 0, out_rows, rhs, n, out);
+        return;
+    }
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(chunk_rows * n)
+        .enumerate()
+        .map(|(c, slab)| {
+            let i0 = c * chunk_rows;
+            let iw = slab.len() / n;
+            Box::new(move || block(lhs, k_dim, i0, iw, rhs, n, slab)) as Box<dyn FnOnce() + Send>
+        })
+        .collect();
+    runtime::global().run(threads, jobs);
+}
+
+/// `out += A·B` for row-major `a` (`ar x ac`) and `b` (`ac x bc`);
+/// `out` is `ar x bc`, zero-filled by the caller.
+pub fn matmul(
+    a: &[f32],
+    ar: usize,
+    ac: usize,
+    b: &[f32],
+    bc: usize,
+    out: &mut [f32],
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), ar * ac);
+    debug_assert_eq!(b.len(), ac * bc);
+    debug_assert_eq!(out.len(), ar * bc);
+    run_blocked(Lhs::RowMajor { a, ac }, ac, b, bc, out, threads);
+}
+
+/// `out += Aᵀ·B` for row-major `a` (`k x ac`) and `b` (`k x bc`);
+/// `out` is `ac x bc`, zero-filled by the caller. `a` is consumed in
+/// storage order (its row axis *is* the shared dimension).
+pub fn t_matmul(
+    a: &[f32],
+    k: usize,
+    ac: usize,
+    b: &[f32],
+    bc: usize,
+    out: &mut [f32],
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), k * ac);
+    debug_assert_eq!(b.len(), k * bc);
+    debug_assert_eq!(out.len(), ac * bc);
+    run_blocked(Lhs::KMajor { a, m: ac }, k, b, bc, out, threads);
+}
+
+thread_local! {
+    /// Reusable `Bᵀ` scratch for [`matmul_t`]. Taken (not borrowed)
+    /// around each use, so re-entrant calls degrade to a fresh
+    /// allocation instead of a borrow panic.
+    static TRANSPOSE_SCRATCH: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+/// `out += A·Bᵀ` for row-major `a` (`ar x ac`) and `b` (`br x ac`);
+/// `out` is `ar x br`, zero-filled by the caller. Materializes `Bᵀ`
+/// into thread-local scratch, then runs the row-major kernel — the
+/// per-element `k` order is identical to the naive dot-product form.
+pub fn matmul_t(
+    a: &[f32],
+    ar: usize,
+    ac: usize,
+    b: &[f32],
+    br: usize,
+    out: &mut [f32],
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), ar * ac);
+    debug_assert_eq!(b.len(), br * ac);
+    debug_assert_eq!(out.len(), ar * br);
+    let mut bt = TRANSPOSE_SCRATCH.with(Cell::take);
+    transpose_into(b, br, ac, &mut bt);
+    run_blocked(Lhs::RowMajor { a, ac }, ac, &bt, br, out, threads);
+    TRANSPOSE_SCRATCH.with(|cell| cell.set(bt));
+}
+
+/// Writes the `cols x rows` transpose of row-major `src` into `dst`
+/// (tile-blocked so both sides stream through cache lines).
+pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut Vec<f32>) {
+    debug_assert_eq!(src.len(), rows * cols);
+    // Every entry is overwritten by the tile loops below, so a recycled
+    // scratch keeps its stale contents; `resize` only pays to fill the
+    // newly grown region (a no-op in the steady state).
+    dst.resize(rows * cols, 0.0);
+    const T: usize = 32;
+    let mut r0 = 0;
+    while r0 < rows {
+        let rh = T.min(rows - r0);
+        let mut c0 = 0;
+        while c0 < cols {
+            let cw = T.min(cols - c0);
+            for r in r0..r0 + rh {
+                for c in c0..c0 + cw {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 += cw;
+        }
+        r0 += rh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The parallel row partition must depend on shape alone — spelled
+    /// out here because the determinism contract hangs on it.
+    #[test]
+    fn chunking_is_a_function_of_shape_only() {
+        let flops_per_row = 2 * 64 * 300;
+        let chunk = PAR_CHUNK_FLOPS.div_ceil(flops_per_row).clamp(1, 500);
+        // Same arithmetic regardless of any thread knob.
+        assert_eq!(chunk, PAR_CHUNK_FLOPS.div_ceil(flops_per_row).clamp(1, 500));
+        assert!(chunk >= 1);
+    }
+
+    #[test]
+    fn transpose_into_round_trips() {
+        let src: Vec<f32> = (0..6 * 70).map(|x| x as f32).collect();
+        let mut t = Vec::new();
+        transpose_into(&src, 6, 70, &mut t);
+        let mut back = Vec::new();
+        transpose_into(&t, 70, 6, &mut back);
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let mut out: Vec<f32> = Vec::new();
+        matmul(&[], 0, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, &mut out, 4);
+        let mut out = vec![0.0; 4];
+        // Shared dim 0: the zeroed output is the correct product.
+        matmul(&[], 2, 0, &[], 2, &mut out, 4);
+        assert_eq!(out, vec![0.0; 4]);
+        let mut out = vec![0.0; 4];
+        t_matmul(&[], 0, 2, &[], 2, &mut out, 1);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+}

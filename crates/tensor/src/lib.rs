@@ -29,6 +29,7 @@
 //! ```
 
 mod graph;
+pub mod kernel;
 mod matrix;
 pub mod nn;
 pub mod optim;
@@ -38,7 +39,7 @@ pub mod sparse;
 pub mod util;
 pub mod wire;
 
-pub use graph::{stable_sigmoid, stable_softplus, Graph, Var};
+pub use graph::{stable_sigmoid, stable_softplus, Graph, GraphArena, Var};
 pub use matrix::Matrix;
 pub use params::{GradStore, ParamId, ParamSet};
 pub use profile::{OpKind, OpProfile, OpProfileRow};

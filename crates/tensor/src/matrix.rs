@@ -1,14 +1,19 @@
 //! Dense row-major `f32` matrix used as the single value type of the
 //! autodiff tape.
 //!
-//! Dimensions in this workspace are small (embedding widths of 16–128,
-//! batches of at most a few hundred rows), so a straightforward
-//! cache-friendly `ikj` matmul is fast enough and keeps the code easy to
-//! verify against finite differences.
+//! The three matrix products (`matmul`, `t_matmul`, `matmul_t`) route
+//! through the cache-blocked, optionally pool-parallel kernels in
+//! [`crate::kernel`]; the `*_ref` methods keep the naive loops as the
+//! bit-exact reference the kernel-equivalence proptests compare
+//! against. Neither path short-circuits on `== 0.0` operands: IEEE
+//! semantics (`0.0 * NaN = NaN`, `0.0 * inf = NaN`) must hold so that
+//! non-finite blowups propagate instead of being masked.
 
 use std::fmt;
 
 use rand::Rng;
+
+use crate::kernel;
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -153,21 +158,115 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self * other` (naive ikj loop; adequate at this scale).
+    /// `self * other` via the blocked kernel at the process-wide
+    /// thread budget ([`kernel::threads`]).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_threaded(other, kernel::threads())
+    }
+
+    /// `self * other` with an explicit thread count; bit-identical to
+    /// [`Matrix::matmul_ref`] at every thread count.
+    pub fn matmul_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out, threads);
+        out
+    }
+
+    /// `self * other` accumulated into a zero-filled `out`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul out shape");
+        kernel::matmul(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+            threads,
+        );
+    }
+
+    /// `self^T * other` via the blocked kernel (the transpose is never
+    /// materialized: the kernel reads `self` in storage order).
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        self.t_matmul_threaded(other, kernel::threads())
+    }
+
+    /// `self^T * other` with an explicit thread count.
+    pub fn t_matmul_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.t_matmul_into(other, &mut out, threads);
+        out
+    }
+
+    /// `self^T * other` accumulated into a zero-filled `out`.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.cols, other.cols), "t_matmul out shape");
+        kernel::t_matmul(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+            threads,
+        );
+    }
+
+    /// `self * other^T` via the blocked kernel (`other^T` is
+    /// materialized into thread-local scratch so the inner loop runs
+    /// contiguously instead of down a serial dot-product chain).
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        self.matmul_t_threaded(other, kernel::threads())
+    }
+
+    /// `self * other^T` with an explicit thread count.
+    pub fn matmul_t_threaded(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out, threads);
+        out
+    }
+
+    /// `self * other^T` accumulated into a zero-filled `out`.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.shape(), (self.rows, other.rows), "matmul_t out shape");
+        kernel::matmul_t(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+            threads,
+        );
+    }
+
+    /// Naive `ikj` reference for `self * other`: the definition the
+    /// blocked kernels must match bit-for-bit. Each output element
+    /// accumulates its `k` contributions in ascending order from
+    /// `+0.0`, with no `== 0.0` short-circuit.
+    pub fn matmul_ref(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul_ref shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             let a_row = self.row_slice(i);
             let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
             for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
                 let b_row = other.row_slice(k);
                 for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
                     *o += a_ik * b_kj;
@@ -177,21 +276,15 @@ impl Matrix {
         out
     }
 
-    /// `self^T * other` without materializing the transpose.
-    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, other.rows,
-            "t_matmul shape mismatch: ({}x{})^T * {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
+    /// Naive reference for `self^T * other` (same contract as
+    /// [`Matrix::matmul_ref`]).
+    pub fn t_matmul_ref(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul_ref shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             let a_row = self.row_slice(k);
             let b_row = other.row_slice(k);
             for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
                     *o += a_ki * b_kj;
@@ -201,13 +294,11 @@ impl Matrix {
         out
     }
 
-    /// `self * other^T` without materializing the transpose.
-    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_t shape mismatch: {}x{} * ({}x{})^T",
-            self.rows, self.cols, other.rows, other.cols
-        );
+    /// Naive reference for `self * other^T` (same contract as
+    /// [`Matrix::matmul_ref`]; the dot-product accumulator starts at
+    /// `+0.0` so the `k` chain is identical to the blocked form).
+    pub fn matmul_t_ref(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t_ref shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row_slice(i);
@@ -343,6 +434,42 @@ mod tests {
         assert_eq!(a.data(), &[2.0; 4]);
         a.scale_inplace(2.0);
         assert_eq!(a.data(), &[4.0; 4]);
+    }
+
+    /// Regression for the old `== 0.0 { continue }` fast path: a zero
+    /// row times a NaN/inf column must be NaN (`0 * NaN = NaN`,
+    /// `0 * inf = NaN` per IEEE 754), not silently finite.
+    #[test]
+    fn zero_times_non_finite_is_nan() {
+        let zero_row = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let poisoned = Matrix::from_vec(2, 2, vec![f32::NAN, 1.0, 2.0, f32::INFINITY]);
+
+        let mm = zero_row.matmul(&poisoned);
+        assert!(mm.at(0, 0).is_nan(), "0*NaN + 0*2 must be NaN");
+        assert!(mm.at(0, 1).is_nan(), "0*1 + 0*inf must be NaN");
+        assert!(mm.at(1, 1).is_infinite(), "1*1 + 1*inf stays inf");
+
+        // self^T * other with an all-zero column in self.
+        let zero_col = Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 1.0]);
+        let tm = zero_col.t_matmul(&poisoned);
+        assert!(tm.at(0, 0).is_nan());
+        assert!(tm.at(0, 1).is_nan());
+
+        // self * other^T: zero row dotted with a NaN-bearing row.
+        let mt = zero_row.matmul_t(&poisoned);
+        assert!(mt.at(0, 0).is_nan());
+        assert!(mt.at(0, 1).is_nan());
+
+        // The naive references agree (NaN == NaN at the bit level).
+        for (kernel_out, ref_out) in [
+            (mm, zero_row.matmul_ref(&poisoned)),
+            (tm, zero_col.t_matmul_ref(&poisoned)),
+            (mt, zero_row.matmul_t_ref(&poisoned)),
+        ] {
+            for (x, y) in kernel_out.data().iter().zip(ref_out.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //! linear layers, multi-layer perceptrons, and LSTM / GRU recurrent
 //! cells. Each block registers its parameters in a [`ParamSet`] at
 //! construction time and builds graph nodes when applied.
+//!
+//! The matmuls these blocks emit run on the blocked, pool-parallel
+//! [`crate::kernel`] layer; results are bit-identical at any kernel
+//! thread count, so blocks never need to care about threading.
 
 use rand::Rng;
 
@@ -44,10 +48,8 @@ impl Linear {
     }
 
     pub fn forward(&self, g: &mut Graph<'_>, x: Var) -> Var {
-        let w = g.param(self.w);
-        let b = g.param(self.b);
-        let xw = g.matmul(x, w);
-        g.add(xw, b)
+        let xw = g.matmul_param(x, self.w);
+        g.add_row_param(xw, self.b)
     }
 }
 
@@ -183,8 +185,7 @@ impl LstmCell {
 
     fn gate(&self, g: &mut Graph<'_>, w: &Linear, u: ParamId, x: Var, h: Var) -> Var {
         let xw = w.forward(g, x);
-        let up = g.param(u);
-        let hu = g.matmul(h, up);
+        let hu = g.matmul_param(h, u);
         g.add(xw, hu)
     }
 
@@ -250,21 +251,18 @@ impl GruCell {
 
     pub fn step(&self, g: &mut Graph<'_>, x: Var, h: Var) -> Var {
         let z_x = self.wz.forward(g, x);
-        let uz = g.param(self.uz);
-        let z_h = g.matmul(h, uz);
+        let z_h = g.matmul_param(h, self.uz);
         let z_pre = g.add(z_x, z_h);
         let z = g.sigmoid(z_pre);
 
         let r_x = self.wr.forward(g, x);
-        let ur = g.param(self.ur);
-        let r_h = g.matmul(h, ur);
+        let r_h = g.matmul_param(h, self.ur);
         let r_pre = g.add(r_x, r_h);
         let r = g.sigmoid(r_pre);
 
         let n_x = self.wn.forward(g, x);
         let rh = g.mul(r, h);
-        let un = g.param(self.un);
-        let n_h = g.matmul(rh, un);
+        let n_h = g.matmul_param(rh, self.un);
         let n_pre = g.add(n_x, n_h);
         let n = g.tanh(n_pre);
 

@@ -132,6 +132,9 @@ struct Cell {
     /// Estimated floating-point operations (see `Graph`'s
     /// `flop_estimate`) across all forward calls.
     flops: AtomicU64,
+    /// Estimated floating-point operations (see `Graph`'s
+    /// `bwd_flop_estimate`) across all backward calls.
+    bwd_flops: AtomicU64,
 }
 
 #[allow(clippy::declare_interior_mutable_const)]
@@ -142,6 +145,7 @@ const EMPTY_CELL: Cell = Cell {
     bwd_ns: AtomicU64::new(0),
     elems: AtomicU64::new(0),
     flops: AtomicU64::new(0),
+    bwd_flops: AtomicU64::new(0),
 };
 
 static TABLE: [Cell; OpKind::ALL.len()] = [EMPTY_CELL; OpKind::ALL.len()];
@@ -207,6 +211,15 @@ pub fn record_dims(kind: OpKind, elems: u64, flops: u64) {
     cell.flops.fetch_add(flops, Relaxed);
 }
 
+/// Adds one backward call's FLOP estimate.
+#[inline]
+pub fn record_bwd_dims(kind: OpKind, flops: u64) {
+    if !trace::is_enabled() {
+        return;
+    }
+    TABLE[kind as usize].bwd_flops.fetch_add(flops, Relaxed);
+}
+
 /// Zeroes the whole table (start of a profiled run).
 pub fn reset() {
     for cell in &TABLE {
@@ -216,6 +229,7 @@ pub fn reset() {
         cell.bwd_ns.store(0, Relaxed);
         cell.elems.store(0, Relaxed);
         cell.flops.store(0, Relaxed);
+        cell.bwd_flops.store(0, Relaxed);
     }
 }
 
@@ -229,6 +243,7 @@ pub struct OpProfileRow {
     pub bwd_ns: u64,
     pub elems: u64,
     pub flops: u64,
+    pub bwd_flops: u64,
 }
 
 impl OpProfileRow {
@@ -267,6 +282,7 @@ impl OpProfile {
                         .field("bwd_ns", row.bwd_ns)
                         .field("elems", row.elems)
                         .field("flops", row.flops)
+                        .field("bwd_flops", row.bwd_flops)
                 })
                 .collect(),
         )
@@ -301,6 +317,8 @@ impl OpProfile {
                 bwd_ns: field("bwd_ns")?,
                 elems: field("elems")?,
                 flops: field("flops")?,
+                // Tolerant: absent in pre-PR7 trace files.
+                bwd_flops: row.get("bwd_flops").and_then(Json::as_u64).unwrap_or(0),
             });
         }
         Ok(profile)
@@ -322,6 +340,7 @@ pub fn snapshot() -> OpProfile {
                 bwd_ns: cell.bwd_ns.load(Relaxed),
                 elems: cell.elems.load(Relaxed),
                 flops: cell.flops.load(Relaxed),
+                bwd_flops: cell.bwd_flops.load(Relaxed),
             }
         })
         .filter(|row| row.fwd_calls > 0 || row.bwd_calls > 0)
@@ -372,6 +391,17 @@ mod tests {
             let loss = g.sq_sum(s);
             g.backward(loss, &mut grads);
         }
+        {
+            // Second graph pins the transpose-product and pick paths.
+            let mut g = Graph::new(&params);
+            let x = g.input(Matrix::full(2, 4, 0.1));
+            let b = g.input(Matrix::full(3, 4, 0.2));
+            let y = g.matmul_t(x, b); // 2x3
+            let lsm = g.log_softmax_rows(y);
+            let p = g.pick_per_row(lsm, &[0, 2]);
+            let loss = g.sum_all(p);
+            g.backward(loss, &mut grads);
+        }
         trace::disable();
 
         let profile = snapshot();
@@ -388,8 +418,23 @@ mod tests {
         assert_eq!(mm.bwd_calls, 1);
         assert_eq!(mm.elems, 6); // 2x4 · 4x3 = 2x3 output
         assert_eq!(mm.flops, 2 * 4 * 6); // 2·k·out
+        assert_eq!(mm.bwd_flops, 4 * 4 * 6); // dA + dB: 2x forward
         let sig = row(OpKind::Sigmoid);
         assert_eq!(sig.flops, 4 * 6);
+        assert_eq!(sig.bwd_flops, 3 * 6);
+        // MatMulT shares the forward formula (shared dim = a.cols) and
+        // the two-products backward.
+        let mmt = row(OpKind::MatMulT);
+        assert_eq!(mmt.elems, 6); // 2x4 · (3x4)^T = 2x3 output
+        assert_eq!(mmt.flops, 2 * 4 * 6);
+        assert_eq!(mmt.bwd_flops, 4 * 4 * 6);
+        // PickPerRow is a copy forward and a sparse scatter backward.
+        let pick = row(OpKind::PickPerRow);
+        assert_eq!(pick.flops, 0);
+        assert_eq!(pick.bwd_flops, 2 * 2);
+        let lsm = row(OpKind::LogSoftmaxRows);
+        assert_eq!(lsm.flops, 5 * 6);
+        assert_eq!(lsm.bwd_flops, 4 * 6);
         // Input/Param appear forward-only or with trivial backwards;
         // every row that ran must carry a forward call.
         assert!(profile

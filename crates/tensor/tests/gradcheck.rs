@@ -344,3 +344,107 @@ fn gather_var_rows() {
         g.sq_sum(picked)
     });
 }
+
+#[test]
+fn fused_param_matmuls() {
+    let mut rng = rng();
+    let mut params = ParamSet::new();
+    let x = params.add("x", Matrix::uniform(3, 4, 0.8, &mut rng));
+    let w = params.add("w", Matrix::uniform(4, 5, 0.8, &mut rng));
+    let b = params.add("b", Matrix::uniform(1, 5, 0.8, &mut rng));
+    let table = params.add("table", Matrix::uniform(6, 5, 0.8, &mut rng));
+    gradcheck(&mut params, |g| {
+        let xv = g.param(x);
+        let xw = g.matmul_param(xv, w);
+        let pre = g.add_row_param(xw, b);
+        let h = g.tanh(pre);
+        let logits = g.matmul_t_param(h, table); // 3 x 6
+        g.sq_sum(logits)
+    });
+}
+
+/// The fused param ops must be *bit-identical* to the
+/// `param` + `matmul`/`add` compositions they replace — the fusion is
+/// a pure tape/copy elimination, not a numeric change.
+#[test]
+fn fused_param_matmuls_are_bit_identical_to_unfused() {
+    let mut rng = rng();
+    let mut params = ParamSet::new();
+    let x = params.add("x", Matrix::uniform(7, 4, 0.8, &mut rng));
+    let w = params.add("w", Matrix::uniform(4, 5, 0.8, &mut rng));
+    let b = params.add("b", Matrix::uniform(1, 5, 0.8, &mut rng));
+    let table = params.add("table", Matrix::uniform(6, 5, 0.8, &mut rng));
+
+    let run = |fused: bool| {
+        let mut grads = GradStore::zeros_like(&params);
+        let mut g = Graph::new(&params);
+        let xv = g.param(x);
+        let logits = if fused {
+            let xw = g.matmul_param(xv, w);
+            let pre = g.add_row_param(xw, b);
+            let h = g.tanh(pre);
+            g.matmul_t_param(h, table)
+        } else {
+            let wv = g.param(w);
+            let bv = g.param(b);
+            let tv = g.param(table);
+            let xw = g.matmul(xv, wv);
+            let pre = g.add(xw, bv);
+            let h = g.tanh(pre);
+            g.matmul_t(h, tv)
+        };
+        let loss = g.sq_sum(logits);
+        g.backward(loss, &mut grads);
+        let value: Vec<u32> = g.value(logits).data().iter().map(|v| v.to_bits()).collect();
+        let gbits: Vec<Vec<u32>> = [x, w, b, table]
+            .iter()
+            .map(|&p| grads.get(p).data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (value, gbits)
+    };
+
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn log_softmax_pick_fused() {
+    let mut rng = rng();
+    let mut params = ParamSet::new();
+    let x = params.add("x", Matrix::uniform(4, 6, 0.8, &mut rng));
+    gradcheck(&mut params, |g| {
+        let xv = g.param(x);
+        let picked = g.log_softmax_pick(xv, &[2, 0, 5, 2]);
+        let s = g.sum_all(picked);
+        g.scale(s, -1.0)
+    });
+}
+
+/// The fused pick must match `pick_per_row(log_softmax_rows(x))`
+/// bit-for-bit in both the picked values and the input gradient.
+#[test]
+fn log_softmax_pick_is_bit_identical_to_composition() {
+    let mut rng = rng();
+    let mut params = ParamSet::new();
+    let x = params.add("x", Matrix::uniform(5, 7, 3.0, &mut rng));
+    let idx = [6u32, 0, 3, 3, 1];
+
+    let run = |fused: bool| {
+        let mut grads = GradStore::zeros_like(&params);
+        let mut g = Graph::new(&params);
+        let xv = g.param(x);
+        let picked = if fused {
+            g.log_softmax_pick(xv, &idx)
+        } else {
+            let lp = g.log_softmax_rows(xv);
+            g.pick_per_row(lp, &idx)
+        };
+        let s = g.sum_all(picked);
+        let loss = g.scale(s, -0.75);
+        g.backward(loss, &mut grads);
+        let value: Vec<u32> = g.value(picked).data().iter().map(|v| v.to_bits()).collect();
+        let gx: Vec<u32> = grads.get(x).data().iter().map(|v| v.to_bits()).collect();
+        (value, gx)
+    };
+
+    assert_eq!(run(true), run(false));
+}

@@ -15,6 +15,13 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> kernel equivalence smoke (blocked/parallel kernels vs naive refs)"
+# The release-mode codegen is what production runs, so the bit-exactness
+# contract (kernel.rs) is re-proven here under --release: blocked and
+# pool-parallel matmul/t_matmul/matmul_t must match the naive reference
+# loops bit-for-bit at threads 1/4/8, NaN/Inf propagation included.
+cargo test -q --release -p tensor --test kernel_equivalence
+
 echo "==> telemetry smoke (tiny fig4 run + JSONL validation)"
 # 3 steps x 4 episodes on one tiny ItemPop cell per design; the
 # validator checks every line parses, steps are gap-free per cell, and
@@ -124,6 +131,20 @@ cargo run --release -p telemetry --bin perf_diff -- \
 if cargo run --release -p telemetry --bin perf_diff -- \
     tests/golden/bench_baseline.json tests/golden/bench_regressed.json >/dev/null 2>&1; then
     echo "perf_diff accepted a +20% regression fixture"; exit 1
+fi
+
+echo "==> committed-snapshot must-improve gate (PR7 kernels vs PR6 baseline)"
+# The committed BENCH_PR7.json was recorded on the same workload as
+# BENCH_PR6.json; the kernel rewrite must show up in it as a >= 1.54x
+# faster PPO update median (1-core container is the binding
+# constraint — see bench_snapshot.sh and DESIGN.md §5g) and >= 3x
+# faster MatMulT kernels. Comparing the committed files keeps this
+# stage deterministic and fast (no re-benchmarking in CI).
+if [ -f BENCH_PR6.json ] && [ -f BENCH_PR7.json ]; then
+    cargo run --release -p telemetry --bin perf_diff -- \
+        BENCH_PR6.json BENCH_PR7.json --threshold -0.35 --only step/update_secs_median
+    cargo run --release -p telemetry --bin perf_diff -- \
+        BENCH_PR6.json BENCH_PR7.json --threshold -0.6667 --only op/MatMulT/
 fi
 
 echo "CI green."

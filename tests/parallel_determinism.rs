@@ -130,6 +130,56 @@ fn interleaved_batches_and_singles_share_one_counter() {
 }
 
 #[test]
+fn gradients_are_kernel_thread_count_invariant() {
+    // The update path's three products (matmul forward, matmul_t
+    // logits, and their backward t_matmul/matmul pairs) at shapes big
+    // enough to engage the parallel kernel dispatch: parameter
+    // gradients must be bit-identical at every kernel thread count.
+    use tensor::{GradStore, Graph, Matrix, ParamSet};
+
+    fn fill(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    let grads_at = |threads: usize| -> Vec<Vec<u32>> {
+        tensor::kernel::set_threads(threads);
+        let mut params = ParamSet::new();
+        let w = params.add("w", fill(96, 64, 3));
+        let emb = params.add("emb", fill(200, 64, 5));
+        let mut grads = GradStore::zeros_like(&params);
+        let mut g = Graph::new(&params);
+        let x = g.input(fill(48, 96, 9));
+        let wv = g.param(w);
+        let h = g.matmul(x, wv); // 48 x 64
+        let table = g.param(emb);
+        let logits = g.matmul_t(h, table); // 48 x 200
+        let lp = g.log_softmax_rows(logits);
+        let idx: Vec<u32> = (0..48).map(|r| (r * 37) % 200).collect();
+        let picked = g.pick_per_row(lp, &idx);
+        let loss = g.sum_all(picked);
+        g.backward(loss, &mut grads);
+        tensor::kernel::set_threads(1);
+        [w, emb]
+            .iter()
+            .map(|&id| grads.get(id).data().iter().map(|v| v.to_bits()).collect())
+            .collect()
+    };
+
+    let g1 = grads_at(1);
+    assert_eq!(g1, grads_at(4), "kernel threads=4 changed gradients");
+    assert_eq!(g1, grads_at(8), "kernel threads=8 changed gradients");
+}
+
+#[test]
 fn full_training_run_is_thread_count_invariant() {
     // End-to-end: a short PoisonRec run against a real (BPR) system
     // produces identical telemetry whether the scoring phase runs on
