@@ -16,13 +16,35 @@
 //! The approximate gradient is SPSA (simultaneous perturbation): one
 //! RecNum query at `M + Δ` and one at `M − Δ` per iteration, with the
 //! loss `f(M) = −RecNum`.
+//!
+//! ## Determinism audit (zoo port)
+//!
+//! The method was already fully seeded (one `StdRng`, no iteration
+//! over hash containers). The port restructures the monolithic
+//! `generate` loop into a resumable step machine — step 0 initializes
+//! `M` and spends one observation, each later step is one SPSA
+//! iteration spending two — with two invariants pinned by tests:
+//!
+//! * the RNG call order is untouched, so the legacy [`AttackMethod`]
+//!   path produces **byte-identical** poison to the pre-port code;
+//! * each iteration's two probes go through one `observe_batch` call,
+//!   which draws per-slot seeds in slot order — bit-identical to the
+//!   old sequential queries at any thread count.
+//!
+//! Budget refusals are checked *before* any RNG draw, so a refused
+//! step perturbs neither the random stream nor the seed ordinal.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use recsys::attack::{
+    Attack, AttackCaps, AttackError, AttackStepStats, BudgetKind, BudgetViolation, GuardedSystem,
+    Reader, WireError, Writer,
+};
 use recsys::data::{ItemId, Trajectory};
-use recsys::system::BlackBoxSystem;
+use recsys::system::{BlackBoxSystem, ObservableSystem, PublicInfo};
 
+use crate::util;
 use crate::AttackMethod;
 
 /// AppGrad parameters.
@@ -49,10 +71,24 @@ impl Default for AppGradConfig {
     }
 }
 
+/// In-flight SPSA state: the count matrix, the running best, and the
+/// candidate pool, all fixed at step 0.
+struct SpsaRun {
+    pool: Vec<ItemId>,
+    n: usize,
+    t: usize,
+    m: Vec<Vec<f32>>,
+    best: Vec<Vec<f32>>,
+    best_reward: f32,
+    final_poison: Option<Vec<Trajectory>>,
+}
+
 /// The approximate-gradient attack.
 pub struct AppGrad {
     cfg: AppGradConfig,
     rng: StdRng,
+    run: Option<SpsaRun>,
+    steps_done: usize,
 }
 
 impl AppGrad {
@@ -60,6 +96,8 @@ impl AppGrad {
         Self {
             cfg,
             rng: StdRng::seed_from_u64(seed),
+            run: None,
+            steps_done: 0,
         }
     }
 
@@ -116,16 +154,9 @@ impl AppGrad {
             *x *= scale;
         }
     }
-}
 
-impl AttackMethod for AppGrad {
-    fn name(&self) -> &'static str {
-        "AppGrad"
-    }
-
-    fn generate(&mut self, system: &BlackBoxSystem, n: usize, t: usize) -> Vec<Trajectory> {
-        let info = system.public_info();
-        // Candidate pool: all targets + the most popular originals.
+    /// Candidate pool: all targets + the most popular originals.
+    fn build_pool(cfg: &AppGradConfig, info: &PublicInfo) -> Vec<ItemId> {
         let mut pool: Vec<ItemId> = info.target_items.clone();
         let mut ranked: Vec<ItemId> = (0..info.num_items).collect();
         ranked.sort_by(|&a, &b| {
@@ -133,11 +164,33 @@ impl AttackMethod for AppGrad {
                 .cmp(&info.popularity[a as usize])
                 .then(a.cmp(&b))
         });
-        pool.extend(
-            ranked
-                .into_iter()
-                .take(self.cfg.pool.saturating_sub(pool.len())),
-        );
+        pool.extend(ranked.into_iter().take(cfg.pool.saturating_sub(pool.len())));
+        pool
+    }
+
+    fn need(system: &GuardedSystem<'_>, observations: u64) -> Result<(), AttackError> {
+        let left = system.observations_left();
+        if left < observations {
+            return Err(AttackError::Budget(BudgetViolation {
+                kind: BudgetKind::Observations,
+                requested: system.usage().observations + observations,
+                declared: system.budget().observations,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Step 0: priori initialization of `M` plus one baseline query.
+    fn step_init(
+        &mut self,
+        system: &GuardedSystem<'_>,
+        threads: usize,
+    ) -> Result<f32, AttackError> {
+        Self::need(system, 1)?;
+        let info = system.public_info();
+        let budget = system.budget();
+        let (n, t) = (budget.fake_users as usize, budget.clicks_per_user);
+        let pool = Self::build_pool(&self.cfg, &info);
         let p = pool.len();
         let n_targets = info.target_items.len();
 
@@ -146,7 +199,7 @@ impl AttackMethod for AppGrad {
         // (spreading the budget over all eight targets dilutes it below
         // any popularity threshold; the paper's AppGrad converges to
         // concentrated target clicking on ItemPop/NeuMF).
-        let mut m: Vec<Vec<f32>> = (0..n)
+        let m: Vec<Vec<f32>> = (0..n)
             .map(|_| {
                 let mut row = vec![0.0f32; p];
                 let primary = self.rng.gen_range(0..n_targets);
@@ -162,64 +215,255 @@ impl AttackMethod for AppGrad {
             })
             .collect();
 
-        let mut best = m.clone();
-        let mut best_reward =
-            system.inject_and_observe(&Self::to_trajectories(&m, &pool, t, &mut self.rng)) as f32;
+        let trajs = Self::to_trajectories(&m, &pool, t, &mut self.rng);
+        let reward = system.try_observe_batch(&[&trajs], threads)?[0].rec_num as f32;
+        self.run = Some(SpsaRun {
+            pool,
+            n,
+            t,
+            best: m.clone(),
+            m,
+            best_reward: reward,
+            final_poison: None,
+        });
+        Ok(reward)
+    }
 
-        for _ in 0..self.cfg.iterations {
-            // SPSA probe: ±1 perturbations on a few entries per row.
-            let delta: Vec<Vec<(usize, f32)>> = (0..n)
-                .map(|_| {
-                    (0..self.cfg.probe_width)
-                        .map(|_| {
-                            let idx = self.rng.gen_range(0..p);
-                            let sign = if self.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-                            (idx, sign)
-                        })
-                        .collect()
-                })
-                .collect();
+    /// One SPSA iteration: probe `M ± Δ` (two queries through a single
+    /// batch — same seed ordinals as two sequential queries), track the
+    /// best probe, ascend along the winning perturbation.
+    fn step_spsa(
+        &mut self,
+        system: &GuardedSystem<'_>,
+        threads: usize,
+    ) -> Result<f32, AttackError> {
+        Self::need(system, 2)?;
+        let run = self.run.as_mut().expect("init step ran");
+        let (n, t, p) = (run.n, run.t, run.pool.len());
 
-            let perturbed = |dir: f32, rng: &mut StdRng| -> (Vec<Vec<f32>>, Vec<Trajectory>) {
-                let mut probe = m.clone();
-                for (row, ds) in probe.iter_mut().zip(&delta) {
-                    for &(idx, sign) in ds {
-                        row[idx] += dir * sign;
-                    }
-                    Self::project_row(row, t);
+        // SPSA probe: ±1 perturbations on a few entries per row.
+        let delta: Vec<Vec<(usize, f32)>> = (0..n)
+            .map(|_| {
+                (0..self.cfg.probe_width)
+                    .map(|_| {
+                        let idx = self.rng.gen_range(0..p);
+                        let sign = if self.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                        (idx, sign)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let perturbed = |dir: f32, rng: &mut StdRng| -> (Vec<Vec<f32>>, Vec<Trajectory>) {
+            let mut probe = run.m.clone();
+            for (row, ds) in probe.iter_mut().zip(&delta) {
+                for &(idx, sign) in ds {
+                    row[idx] += dir * sign;
                 }
-                let trajs = Self::to_trajectories(&probe, &pool, t, rng);
-                (probe, trajs)
-            };
-
-            let (plus_m, plus_trajs) = perturbed(1.0, &mut self.rng);
-            let (minus_m, minus_trajs) = perturbed(-1.0, &mut self.rng);
-            let r_plus = system.inject_and_observe(&plus_trajs) as f32;
-            let r_minus = system.inject_and_observe(&minus_trajs) as f32;
-
-            // Track the best probe (free lunch from the queries).
-            if r_plus > best_reward {
-                best_reward = r_plus;
-                best = plus_m.clone();
+                Self::project_row(row, t);
             }
-            if r_minus > best_reward {
-                best_reward = r_minus;
-                best = minus_m.clone();
-            }
+            let trajs = Self::to_trajectories(&probe, &run.pool, t, rng);
+            (probe, trajs)
+        };
 
-            // Ascend: move along the perturbation that scored higher.
-            if (r_plus - r_minus).abs() > f32::EPSILON {
-                let dir = if r_plus > r_minus { 1.0 } else { -1.0 };
-                for (row, ds) in m.iter_mut().zip(&delta) {
-                    for &(idx, sign) in ds {
-                        row[idx] += self.cfg.step * dir * sign;
+        let (plus_m, plus_trajs) = perturbed(1.0, &mut self.rng);
+        let (minus_m, minus_trajs) = perturbed(-1.0, &mut self.rng);
+        let rewards = system.try_observe_batch(&[&plus_trajs, &minus_trajs], threads)?;
+        let r_plus = rewards[0].rec_num as f32;
+        let r_minus = rewards[1].rec_num as f32;
+
+        // Track the best probe (free lunch from the queries).
+        if r_plus > run.best_reward {
+            run.best_reward = r_plus;
+            run.best = plus_m;
+        }
+        if r_minus > run.best_reward {
+            run.best_reward = r_minus;
+            run.best = minus_m;
+        }
+
+        // Ascend: move along the perturbation that scored higher.
+        if (r_plus - r_minus).abs() > f32::EPSILON {
+            let dir = if r_plus > r_minus { 1.0 } else { -1.0 };
+            for (row, ds) in run.m.iter_mut().zip(&delta) {
+                for &(idx, sign) in ds {
+                    row[idx] += self.cfg.step * dir * sign;
+                }
+                Self::project_row(row, t);
+            }
+        }
+        Ok(r_plus.max(r_minus))
+    }
+
+    fn put_matrix(w: &mut Writer, m: &[Vec<f32>]) {
+        w.put_u64(m.len() as u64);
+        for row in m {
+            w.put_f32s(row);
+        }
+    }
+
+    fn get_matrix(r: &mut Reader<'_>) -> Result<Vec<Vec<f32>>, WireError> {
+        // Each row costs at least its own 8-byte length prefix.
+        let rows = r.get_len(8, "matrix rows")?;
+        (0..rows).map(|_| r.get_f32s("matrix row")).collect()
+    }
+}
+
+impl AttackMethod for AppGrad {
+    fn name(&self) -> &'static str {
+        "AppGrad"
+    }
+
+    fn generate(&mut self, system: &BlackBoxSystem, n: usize, t: usize) -> Vec<Trajectory> {
+        // Drive the step machine to completion against an uncapped
+        // budget: same RNG stream and seed ordinals as the original
+        // single-function implementation, so the output is unchanged.
+        self.run = None;
+        self.steps_done = 0;
+        let guard = GuardedSystem::new(
+            system,
+            recsys::attack::AttackBudget {
+                fake_users: n as u32,
+                clicks_per_user: t,
+                observations: u64::MAX,
+            },
+        );
+        for _ in 0..Attack::planned_steps(self) {
+            Attack::step(self, &guard, 1).expect("uncapped budget cannot refuse");
+        }
+        Attack::poison(self).expect("all steps ran")
+    }
+}
+
+impl Attack for AppGrad {
+    fn name(&self) -> &'static str {
+        "AppGrad"
+    }
+
+    fn caps(&self) -> AttackCaps {
+        AttackCaps {
+            queries_system: true,
+            ..AttackCaps::default()
+        }
+    }
+
+    fn planned_steps(&self) -> usize {
+        self.cfg.iterations + 1
+    }
+
+    fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+
+    fn step(
+        &mut self,
+        system: &GuardedSystem<'_>,
+        threads: usize,
+    ) -> Result<AttackStepStats, AttackError> {
+        if self.steps_done >= self.planned_steps() {
+            return Err(AttackError::State("all SPSA iterations already ran".into()));
+        }
+        let reward = if self.steps_done == 0 {
+            self.step_init(system, threads)?
+        } else {
+            self.step_spsa(system, threads)?
+        };
+        self.steps_done += 1;
+        let run = self.run.as_mut().expect("run exists after a step");
+        if self.steps_done == self.cfg.iterations + 1 {
+            // Same RNG stream position as the original post-loop call.
+            run.final_poison = Some(Self::to_trajectories(
+                &run.best,
+                &run.pool,
+                run.t,
+                &mut self.rng,
+            ));
+        }
+        Ok(AttackStepStats {
+            step: self.steps_done - 1,
+            reward: Some(reward),
+            best_reward: Some(run.best_reward),
+            observations: system.usage().observations,
+        })
+    }
+
+    fn poison(&self) -> Result<Vec<Trajectory>, AttackError> {
+        self.run
+            .as_ref()
+            .and_then(|run| run.final_poison.clone())
+            .ok_or_else(|| AttackError::State("run all SPSA steps first".into()))
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        util::put_rng(&mut w, &self.rng);
+        w.put_u64(self.steps_done as u64);
+        match &self.run {
+            None => w.put_u8(0),
+            Some(run) => {
+                w.put_u8(1);
+                w.put_u64(run.n as u64);
+                w.put_u64(run.t as u64);
+                w.put_u64(run.pool.len() as u64);
+                for &item in &run.pool {
+                    w.put_u32(item);
+                }
+                Self::put_matrix(&mut w, &run.m);
+                Self::put_matrix(&mut w, &run.best);
+                w.put_f32(run.best_reward);
+                match &run.final_poison {
+                    None => w.put_u8(0),
+                    Some(poison) => {
+                        w.put_u8(1);
+                        util::put_trajectories(&mut w, poison);
                     }
-                    Self::project_row(row, t);
                 }
             }
         }
+        w.into_bytes()
+    }
 
-        Self::to_trajectories(&best, &pool, t, &mut self.rng)
+    fn restore_state(
+        &mut self,
+        bytes: &[u8],
+        _system: &GuardedSystem<'_>,
+    ) -> Result<(), AttackError> {
+        let mut r = Reader::new(bytes);
+        let rng = util::get_rng(&mut r)?;
+        let steps_done = r.get_u64("steps done")? as usize;
+        let run = match r.get_u8("run tag")? {
+            0 => None,
+            _ => {
+                let n = r.get_u64("attacker count")? as usize;
+                let t = r.get_u64("trajectory length")? as usize;
+                let pool_len = r.get_len(4, "pool length")?;
+                let mut pool = Vec::with_capacity(pool_len);
+                for _ in 0..pool_len {
+                    pool.push(r.get_u32("pool item")?);
+                }
+                let m = Self::get_matrix(&mut r)?;
+                let best = Self::get_matrix(&mut r)?;
+                let best_reward = r.get_f32("best reward")?;
+                let final_poison = match r.get_u8("final poison tag")? {
+                    0 => None,
+                    _ => Some(util::get_trajectories(&mut r)?),
+                };
+                Some(SpsaRun {
+                    pool,
+                    n,
+                    t,
+                    m,
+                    best,
+                    best_reward,
+                    final_poison,
+                })
+            }
+        };
+        r.expect_eof()?;
+        self.rng = rng;
+        self.steps_done = steps_done;
+        self.run = run;
+        Ok(())
     }
 }
 
@@ -285,5 +529,79 @@ mod tests {
         let poison = attack.generate(&system, 8, 15);
         let reward = system.inject_and_observe_seeded(&poison, 3);
         assert!(reward > 0, "AppGrad found nothing (RecNum {reward})");
+    }
+
+    #[test]
+    fn legacy_and_zoo_paths_are_bit_identical() {
+        // Two fresh same-config systems so seed ordinals line up; the
+        // monolithic path and the step machine must agree exactly.
+        let cfg = AppGradConfig {
+            iterations: 4,
+            ..Default::default()
+        };
+        let legacy_system = toy_system();
+        let mut legacy = AppGrad::new(cfg, 11);
+        let legacy_poison = legacy.generate(&legacy_system, 6, 12);
+
+        let zoo_system = toy_system();
+        let guard = GuardedSystem::new(
+            &zoo_system,
+            recsys::attack::AttackBudget {
+                fake_users: 6,
+                clicks_per_user: 12,
+                observations: 1 + 2 * 4,
+            },
+        );
+        let mut zoo = AppGrad::new(cfg, 11);
+        while zoo.steps_done() < Attack::planned_steps(&zoo) {
+            Attack::step(&mut zoo, &guard, 4).expect("budget covers the run");
+        }
+        assert_eq!(Attack::poison(&zoo).unwrap(), legacy_poison);
+    }
+
+    #[test]
+    fn refused_step_leaves_rng_and_seed_stream_untouched() {
+        let system = toy_system();
+        let guard = GuardedSystem::new(
+            &system,
+            recsys::attack::AttackBudget {
+                fake_users: 6,
+                clicks_per_user: 12,
+                observations: 1, // enough for init, not for any SPSA step
+            },
+        );
+        let mut attack = AppGrad::new(AppGradConfig::default(), 7);
+        Attack::step(&mut attack, &guard, 1).expect("init fits");
+        let state_before = attack.state_bytes();
+        let spent_before = system.observations_spent();
+        match Attack::step(&mut attack, &guard, 1) {
+            Err(AttackError::Budget(v)) => {
+                assert_eq!(v.kind, BudgetKind::Observations)
+            }
+            other => panic!("expected budget refusal, got {other:?}"),
+        }
+        assert_eq!(attack.state_bytes(), state_before, "RNG must not advance");
+        assert_eq!(system.observations_spent(), spent_before);
+    }
+
+    #[test]
+    fn state_round_trips_through_bytes() {
+        let system = toy_system();
+        let guard = GuardedSystem::new(
+            &system,
+            recsys::attack::AttackBudget {
+                fake_users: 4,
+                clicks_per_user: 8,
+                observations: 64,
+            },
+        );
+        let mut attack = AppGrad::new(AppGradConfig::default(), 13);
+        Attack::step(&mut attack, &guard, 1).unwrap();
+        Attack::step(&mut attack, &guard, 1).unwrap();
+        let bytes = attack.state_bytes();
+        let mut restored = AppGrad::new(AppGradConfig::default(), 99);
+        restored.restore_state(&bytes, &guard).unwrap();
+        assert_eq!(restored.state_bytes(), bytes);
+        assert_eq!(restored.steps_done(), 2);
     }
 }

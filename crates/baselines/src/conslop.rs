@@ -20,12 +20,30 @@
 //! As in the paper, ConsLOP promotes a *single* target item, and the
 //! resulting trajectories are reused verbatim against the other
 //! (non-CoVisitation) rankers.
+//!
+//! ## Determinism audit (zoo port)
+//!
+//! Two findings, both fixed here:
+//!
+//! * The struct carried a **dead, unused RNG** (`#[allow(dead_code)]`),
+//!   suggesting randomness where there is none. ConsLOP is fully
+//!   deterministic; the field is gone and `new` keeps its `seed`
+//!   parameter only for constructor compatibility.
+//! * The greedy knapsack sorted candidates by a **float ratio with no
+//!   tie-break**, so equal-ratio partners kept `sort_by`'s input order
+//!   — stable here, but one refactor away from hash-order dependence.
+//!   Ties now break by ascending item id explicitly.
+//!
+//! The `HashMap`/`HashSet` accumulations are safe as-is: only
+//! order-independent folds (`max`, counting inserts) ever read them.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use recsys::data::{ItemId, Trajectory};
-use recsys::system::BlackBoxSystem;
+use recsys::attack::{
+    Attack, AttackCaps, AttackError, AttackStepStats, GuardedSystem, Reader, Writer,
+};
+use recsys::data::{Dataset, ItemId, Trajectory};
+use recsys::system::{BlackBoxSystem, ObservableSystem};
 
+use crate::util;
 use crate::AttackMethod;
 
 /// ConsLOP parameters.
@@ -46,22 +64,35 @@ impl Default for ConsLopConfig {
 /// The greedy co-visitation injection planner.
 pub struct ConsLop {
     cfg: ConsLopConfig,
-    #[allow(dead_code)]
-    rng: StdRng,
+    /// Prior knowledge for the zoo path; the legacy [`AttackMethod`]
+    /// path reads the log off the in-process system instead.
+    log: Option<Dataset>,
+    crafted: Option<Vec<Trajectory>>,
 }
 
 impl ConsLop {
-    pub fn new(cfg: ConsLopConfig, seed: u64) -> Self {
+    /// `seed` is accepted for constructor compatibility; the planner
+    /// is deterministic and uses no randomness (see the audit notes).
+    pub fn new(cfg: ConsLopConfig, _seed: u64) -> Self {
         Self {
             cfg,
-            rng: StdRng::seed_from_u64(seed),
+            log: None,
+            crafted: None,
+        }
+    }
+
+    /// Supplies the system log the co-visitation program needs.
+    pub fn with_log(cfg: ConsLopConfig, log: Dataset) -> Self {
+        Self {
+            cfg,
+            log: Some(log),
+            crafted: None,
         }
     }
 
     /// Plans `(partner, co-visit count)` allocations for `budget`
     /// co-visitations.
-    fn plan(&self, system: &BlackBoxSystem, budget: usize) -> Vec<(ItemId, usize)> {
-        let base = system.base();
+    fn plan(&self, base: &Dataset, budget: usize) -> Vec<(ItemId, usize)> {
         // Strongest existing co-visit weight per item (the bar the
         // injected edge must clear) and per-item user reach.
         let n = base.num_items() as usize;
@@ -93,7 +124,8 @@ impl ConsLop {
         pool.sort_by(|&a, &b| reach[b as usize].cmp(&reach[a as usize]).then(a.cmp(&b)));
         pool.truncate(self.cfg.candidate_pool);
 
-        // Greedy knapsack by reach / cost.
+        // Greedy knapsack by reach / cost, equal ratios broken by
+        // ascending item id so the plan never depends on input order.
         let mut scored: Vec<(f64, ItemId, usize)> = pool
             .into_iter()
             .map(|j| {
@@ -101,7 +133,11 @@ impl ConsLop {
                 (reach[j as usize] as f64 / cost as f64, j, cost)
             })
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
 
         let mut remaining = budget;
         let mut allocation = Vec::new();
@@ -119,19 +155,12 @@ impl ConsLop {
         }
         allocation
     }
-}
 
-impl AttackMethod for ConsLop {
-    fn name(&self) -> &'static str {
-        "ConsLOP"
-    }
-
-    fn generate(&mut self, system: &BlackBoxSystem, n: usize, t: usize) -> Vec<Trajectory> {
-        let info = system.public_info();
-        // Single-target method: promote the first target item.
-        let target = info.target_items[0];
+    /// The crafting core: pure function of the log, the target list,
+    /// and the `n × t` budget.
+    fn craft(&self, base: &Dataset, target: ItemId, n: usize, t: usize) -> Vec<Trajectory> {
         let budget = n * t / 2;
-        let plan = self.plan(system, budget);
+        let plan = self.plan(base, budget);
 
         // Serialize the plan into co-visit click pairs (target, j) and
         // deal them round-robin across the N attacker accounts.
@@ -151,6 +180,102 @@ impl AttackMethod for ConsLop {
         }
 
         clicks.chunks(t).take(n).map(|c| c.to_vec()).collect()
+    }
+}
+
+impl AttackMethod for ConsLop {
+    fn name(&self) -> &'static str {
+        "ConsLOP"
+    }
+
+    fn generate(&mut self, system: &BlackBoxSystem, n: usize, t: usize) -> Vec<Trajectory> {
+        // Single-target method: promote the first target item.
+        let target = system.public_info().target_items[0];
+        self.craft(system.base(), target, n, t)
+    }
+}
+
+impl Attack for ConsLop {
+    fn name(&self) -> &'static str {
+        "ConsLOP"
+    }
+
+    fn caps(&self) -> AttackCaps {
+        AttackCaps {
+            model_required: true,
+            ..AttackCaps::default()
+        }
+    }
+
+    fn planned_steps(&self) -> usize {
+        1
+    }
+
+    fn steps_done(&self) -> usize {
+        usize::from(self.crafted.is_some())
+    }
+
+    fn step(
+        &mut self,
+        system: &GuardedSystem<'_>,
+        _threads: usize,
+    ) -> Result<AttackStepStats, AttackError> {
+        if self.crafted.is_some() {
+            return Err(AttackError::State(
+                "ConsLOP plans in a single step; the poison is already built".into(),
+            ));
+        }
+        let base = self.log.as_ref().ok_or(AttackError::Capability {
+            attack: "ConsLOP".to_string(),
+            needs: "the system interaction log (supply it at construction)",
+        })?;
+        let budget = system.budget();
+        let target = system.public_info().target_items[0];
+        self.crafted = Some(self.craft(
+            base,
+            target,
+            budget.fake_users as usize,
+            budget.clicks_per_user,
+        ));
+        Ok(AttackStepStats {
+            step: 0,
+            reward: None,
+            best_reward: None,
+            observations: system.usage().observations,
+        })
+    }
+
+    fn poison(&self) -> Result<Vec<Trajectory>, AttackError> {
+        self.crafted
+            .clone()
+            .ok_or_else(|| AttackError::State("run the planning step first".into()))
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match &self.crafted {
+            None => w.put_u8(0),
+            Some(poison) => {
+                w.put_u8(1);
+                util::put_trajectories(&mut w, poison);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(
+        &mut self,
+        bytes: &[u8],
+        _system: &GuardedSystem<'_>,
+    ) -> Result<(), AttackError> {
+        let mut r = Reader::new(bytes);
+        let crafted = match r.get_u8("crafted tag")? {
+            0 => None,
+            _ => Some(util::get_trajectories(&mut r)?),
+        };
+        r.expect_eof()?;
+        self.crafted = crafted;
+        Ok(())
     }
 }
 
@@ -220,5 +345,32 @@ mod tests {
             after > 0,
             "ConsLOP failed on its home turf (RecNum {after})"
         );
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let system = toy_system();
+        let a = ConsLop::new(ConsLopConfig::default(), 1).generate(&system, 8, 10);
+        let b = ConsLop::new(ConsLopConfig::default(), 2).generate(&system, 8, 10);
+        // No randomness at all: different seeds, identical plans.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zoo_step_without_log_is_a_typed_capability_error() {
+        let system = toy_system();
+        let guard = recsys::attack::GuardedSystem::new(
+            &system,
+            recsys::attack::AttackBudget {
+                fake_users: 4,
+                clicks_per_user: 6,
+                observations: 0,
+            },
+        );
+        let mut attack = ConsLop::new(ConsLopConfig::default(), 3);
+        match attack.step(&guard, 1) {
+            Err(AttackError::Capability { attack, .. }) => assert_eq!(attack, "ConsLOP"),
+            other => panic!("expected capability refusal, got {other:?}"),
+        }
     }
 }

@@ -8,12 +8,31 @@
 //! * **PowerItem** — Seminario & Wilson's power-item attack: alternate
 //!   targets with "power items" selected by *in-degree centrality* on
 //!   the item co-visitation graph (requires the system log).
+//!
+//! ## Determinism audit (zoo port)
+//!
+//! * All randomness is one seeded `StdRng`; crafting is a pure
+//!   function of `(kind, seed, public info, n, t)` and is pinned by
+//!   `deterministic_given_seed` plus the zoo conformance suite.
+//! * Random/Popular/Middle need only *crawlable* knowledge, so the
+//!   popular set is now derived from [`PublicInfo::popularity`]
+//!   instead of the system log — bit-identical to
+//!   `Dataset::popular_set` (same counts, same descending-popularity /
+//!   ascending-id order), but honest about the knowledge level.
+//! * PowerItem's co-visitation graph uses `HashSet`s whose iteration
+//!   order is never observed (only `len()` is read), so hash order
+//!   cannot leak into results; the final power-item ranking breaks
+//!   ties by item id explicitly.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use recsys::attack::{
+    Attack, AttackCaps, AttackError, AttackStepStats, GuardedSystem, Reader, Writer,
+};
 use recsys::data::{Dataset, ItemId, Trajectory};
-use recsys::system::BlackBoxSystem;
+use recsys::system::{BlackBoxSystem, ObservableSystem, PublicInfo};
 
+use crate::util;
 use crate::AttackMethod;
 
 /// Which heuristic rule to apply.
@@ -30,10 +49,31 @@ const POPULAR_PERCENT: f64 = 10.0;
 /// Number of power items PowerItem alternates over.
 const NUM_POWER_ITEMS: usize = 32;
 
+/// The top `POPULAR_PERCENT`% most popular original items, derived
+/// from crawlable popularity alone. Matches `Dataset::popular_set`
+/// exactly: descending popularity, ties by ascending id, `ceil` count.
+fn popular_set(info: &PublicInfo) -> Vec<ItemId> {
+    let mut items: Vec<ItemId> = (0..info.num_items).collect();
+    items.sort_by(|&a, &b| {
+        info.popularity[b as usize]
+            .cmp(&info.popularity[a as usize])
+            .then(a.cmp(&b))
+    });
+    let take = ((info.num_items as f64) * POPULAR_PERCENT / 100.0)
+        .ceil()
+        .max(1.0) as usize;
+    items.truncate(take.min(info.num_items as usize));
+    items
+}
+
 /// A heuristic trajectory generator.
 pub struct HeuristicAttack {
     kind: HeuristicKind,
     rng: StdRng,
+    /// Prior knowledge for PowerItem (construction-time, never
+    /// crawled through the black-box interface).
+    log: Option<Dataset>,
+    crafted: Option<Vec<Trajectory>>,
 }
 
 impl HeuristicAttack {
@@ -41,6 +81,16 @@ impl HeuristicAttack {
         Self {
             kind,
             rng: StdRng::seed_from_u64(seed),
+            log: None,
+            crafted: None,
+        }
+    }
+
+    /// Supplies the system log PowerItem's centrality ranking needs.
+    pub fn with_log(kind: HeuristicKind, seed: u64, log: Dataset) -> Self {
+        Self {
+            log: Some(log),
+            ..Self::new(kind, seed)
         }
     }
 
@@ -69,28 +119,28 @@ impl HeuristicAttack {
         items.truncate(count.max(1));
         items
     }
-}
 
-impl AttackMethod for HeuristicAttack {
-    fn name(&self) -> &'static str {
-        match self.kind {
-            HeuristicKind::Random => "Random",
-            HeuristicKind::Popular => "Popular",
-            HeuristicKind::Middle => "Middle",
-            HeuristicKind::PowerItem => "PowerItem",
-        }
-    }
-
-    fn generate(&mut self, system: &BlackBoxSystem, n: usize, t: usize) -> Vec<Trajectory> {
-        let base = system.base();
-        let info = system.public_info();
+    /// The crafting core shared by the legacy [`AttackMethod`] path and
+    /// the zoo [`Attack`] path: a pure function of the RNG stream,
+    /// public info, the (optional) log, and the `n × t` budget.
+    fn craft(
+        &mut self,
+        info: &PublicInfo,
+        power_src: Option<&Dataset>,
+        n: usize,
+        t: usize,
+    ) -> Result<Vec<Trajectory>, AttackError> {
         let targets = &info.target_items;
-        let popular = base.popular_set(POPULAR_PERCENT);
-        let popular_set: std::collections::HashSet<ItemId> = popular.iter().copied().collect();
+        let popular = popular_set(info);
+        let popular_lookup: std::collections::HashSet<ItemId> = popular.iter().copied().collect();
         let unpopular: Vec<ItemId> = (0..info.num_items)
-            .filter(|i| !popular_set.contains(i))
+            .filter(|i| !popular_lookup.contains(i))
             .collect();
         let power = if self.kind == HeuristicKind::PowerItem {
+            let base = power_src.ok_or(AttackError::Capability {
+                attack: "PowerItem".to_string(),
+                needs: "the system interaction log (supply it at construction)",
+            })?;
             Self::power_items(base, NUM_POWER_ITEMS)
         } else {
             Vec::new()
@@ -98,7 +148,7 @@ impl AttackMethod for HeuristicAttack {
         let rng = &mut self.rng;
         let pick = |set: &[ItemId], rng: &mut StdRng| set[rng.gen_range(0..set.len())];
 
-        (0..n)
+        Ok((0..n)
             .map(|_| {
                 (0..t)
                     .map(|step| match self.kind {
@@ -131,7 +181,113 @@ impl AttackMethod for HeuristicAttack {
                     })
                     .collect()
             })
-            .collect()
+            .collect())
+    }
+
+    fn static_name(&self) -> &'static str {
+        match self.kind {
+            HeuristicKind::Random => "Random",
+            HeuristicKind::Popular => "Popular",
+            HeuristicKind::Middle => "Middle",
+            HeuristicKind::PowerItem => "PowerItem",
+        }
+    }
+}
+
+impl AttackMethod for HeuristicAttack {
+    fn name(&self) -> &'static str {
+        self.static_name()
+    }
+
+    fn generate(&mut self, system: &BlackBoxSystem, n: usize, t: usize) -> Vec<Trajectory> {
+        self.craft(&system.public_info(), Some(system.base()), n, t)
+            .expect("the in-process system always has its log")
+    }
+}
+
+impl Attack for HeuristicAttack {
+    fn name(&self) -> &'static str {
+        self.static_name()
+    }
+
+    fn caps(&self) -> AttackCaps {
+        AttackCaps {
+            model_required: self.kind == HeuristicKind::PowerItem,
+            ..AttackCaps::default()
+        }
+    }
+
+    fn planned_steps(&self) -> usize {
+        1
+    }
+
+    fn steps_done(&self) -> usize {
+        usize::from(self.crafted.is_some())
+    }
+
+    fn step(
+        &mut self,
+        system: &GuardedSystem<'_>,
+        _threads: usize,
+    ) -> Result<AttackStepStats, AttackError> {
+        if self.crafted.is_some() {
+            return Err(AttackError::State(
+                "heuristics craft in a single step; the poison is already built".into(),
+            ));
+        }
+        let budget = system.budget();
+        let info = system.public_info();
+        let log = self.log.take();
+        let crafted = self.craft(
+            &info,
+            log.as_ref(),
+            budget.fake_users as usize,
+            budget.clicks_per_user,
+        );
+        self.log = log;
+        self.crafted = Some(crafted?);
+        Ok(AttackStepStats {
+            step: 0,
+            reward: None,
+            best_reward: None,
+            observations: system.usage().observations,
+        })
+    }
+
+    fn poison(&self) -> Result<Vec<Trajectory>, AttackError> {
+        self.crafted
+            .clone()
+            .ok_or_else(|| AttackError::State("run the crafting step first".into()))
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        util::put_rng(&mut w, &self.rng);
+        match &self.crafted {
+            None => w.put_u8(0),
+            Some(poison) => {
+                w.put_u8(1);
+                util::put_trajectories(&mut w, poison);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(
+        &mut self,
+        bytes: &[u8],
+        _system: &GuardedSystem<'_>,
+    ) -> Result<(), AttackError> {
+        let mut r = Reader::new(bytes);
+        let rng = util::get_rng(&mut r)?;
+        let crafted = match r.get_u8("crafted tag")? {
+            0 => None,
+            _ => Some(util::get_trajectories(&mut r)?),
+        };
+        r.expect_eof()?;
+        self.rng = rng;
+        self.crafted = crafted;
+        Ok(())
     }
 }
 
@@ -210,6 +366,17 @@ mod tests {
     }
 
     #[test]
+    fn crawled_popular_set_matches_the_log_derived_one() {
+        // The audit fix: the popular set is now derived from public
+        // popularity, and must equal `Dataset::popular_set` exactly.
+        let system = toy_system();
+        assert_eq!(
+            popular_set(&system.public_info()),
+            system.base().popular_set(POPULAR_PERCENT)
+        );
+    }
+
+    #[test]
     fn power_items_have_high_degree() {
         let system = toy_system();
         let power = HeuristicAttack::power_items(system.base(), 5);
@@ -228,5 +395,23 @@ mod tests {
         let a = HeuristicAttack::new(HeuristicKind::Middle, 9).generate(&system, 3, 10);
         let b = HeuristicAttack::new(HeuristicKind::Middle, 9).generate(&system, 3, 10);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_item_without_log_is_a_typed_capability_error() {
+        let system = toy_system();
+        let guard = recsys::attack::GuardedSystem::new(
+            &system,
+            recsys::attack::AttackBudget {
+                fake_users: 4,
+                clicks_per_user: 6,
+                observations: 0,
+            },
+        );
+        let mut attack = HeuristicAttack::new(HeuristicKind::PowerItem, 3);
+        match attack.step(&guard, 1) {
+            Err(AttackError::Capability { attack, .. }) => assert_eq!(attack, "PowerItem"),
+            other => panic!("expected capability refusal, got {other:?}"),
+        }
     }
 }

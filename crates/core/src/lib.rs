@@ -14,6 +14,10 @@
 //! * [`trainer`] — Algorithm 1: sample, inject, observe RecNum, update.
 //! * [`checkpoint`] — versioned crash-safe trainer state snapshots;
 //!   resumed runs continue bit-identically.
+//! * [`zoo`] — the attack-zoo driver: any [`recsys::attack::Attack`]
+//!   run with the same budget boundary, sealed checkpoints, and fault
+//!   injection, plus [`zoo::PoisonRecAttack`] adapting Algorithm 1
+//!   itself onto the trait.
 //!
 //! ```no_run
 //! use poisonrec::{PoisonRecConfig, PoisonRecTrainer};
@@ -36,6 +40,7 @@ pub mod checkpoint;
 pub mod policy;
 pub mod ppo;
 pub mod trainer;
+pub mod zoo;
 
 pub use action::{ActionSpace, ActionSpaceKind, Choice, ChoiceSet, ItemTree};
 pub use checkpoint::CheckpointError;
@@ -44,3 +49,4 @@ pub use ppo::{normalize_rewards, PpoConfig, PpoUpdater};
 pub use trainer::{
     PoisonRecConfig, PoisonRecConfigBuilder, PoisonRecTrainer, StepLogger, StepStats,
 };
+pub use zoo::{run_attack, zoo_fingerprint, PoisonRecAttack, ZooConfig, ZooEvent, ZooRun};

@@ -303,6 +303,29 @@ impl PoisonRecTrainer {
         self.best.as_ref()
     }
 
+    /// Re-binds the scoring/kernel thread budget. Training is
+    /// thread-count invariant, so this only changes wall time — the
+    /// zoo driver uses it to run one configured trainer at whatever
+    /// parallelism the current cell asks for.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads.max(1);
+    }
+
+    /// The complete serializable trainer closure — what
+    /// [`PoisonRecTrainer::save_checkpoint`] seals. Exposed so generic
+    /// attack drivers can embed the trainer state in their own
+    /// containers.
+    pub fn export_state(&self) -> TrainerState {
+        TrainerState {
+            rng_state: self.rng.state(),
+            observations: self.observations,
+            params: self.policy.params().clone(),
+            optimizer: self.updater.optimizer().clone(),
+            best: self.best.clone(),
+            history: self.history.clone(),
+        }
+    }
+
     /// One Algorithm 1 iteration. Costs `M` system retrains, fanned
     /// out over up to [`PoisonRecConfig::threads`] threads.
     pub fn step(&mut self, system: &dyn ObservableSystem) -> StepStats {
@@ -437,15 +460,7 @@ impl PoisonRecTrainer {
         path: impl AsRef<Path>,
     ) -> Result<u64, CheckpointError> {
         let path = path.as_ref();
-        let state = TrainerState {
-            rng_state: self.rng.state(),
-            observations: self.observations,
-            params: self.policy.params().clone(),
-            optimizer: self.updater.optimizer().clone(),
-            best: self.best.clone(),
-            history: self.history.clone(),
-        };
-        let body = state.to_bytes();
+        let body = self.export_state().to_bytes();
         let fingerprint = checkpoint::config_fingerprint(&self.cfg, system);
         let sealed = checkpoint::seal(fingerprint, &body);
         checkpoint::atomic_write(path, &sealed)?;
@@ -480,14 +495,16 @@ impl PoisonRecTrainer {
         }
         let state = TrainerState::from_bytes(body)?;
         let mut trainer = Self::new(cfg, system);
-        trainer.restore(state, system)?;
+        trainer.restore_state(state, system)?;
         Ok(trainer)
     }
 
     /// Overwrites this trainer's state with a decoded [`TrainerState`],
     /// validating shape agreement first so a mismatch surfaces here
-    /// rather than as a panic deep inside a later step.
-    fn restore(
+    /// rather than as a panic deep inside a later step. Also
+    /// fast-forwards `system`'s observation stream; see
+    /// [`PoisonRecTrainer::resume`].
+    pub fn restore_state(
         &mut self,
         state: TrainerState,
         system: &dyn ObservableSystem,

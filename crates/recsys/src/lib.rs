@@ -21,6 +21,10 @@
 //! * [`remote`] — [`remote::RemoteSystem`], the same
 //!   [`system::ObservableSystem`] observation API spoken over a socket
 //!   to a `serve` instance: the attack literally goes over the wire.
+//! * [`attack`] — the attack-zoo contract: the [`attack::Attack`]
+//!   trait with declared capabilities and budgets, and the
+//!   budget-enforcing [`attack::GuardedSystem`] boundary every zoo
+//!   attack observes through (DESIGN.md §5h).
 //!
 //! ```no_run
 //! use recsys::data::Dataset;
@@ -40,6 +44,7 @@
 //! println!("RecNum after poisoning: {}", system.inject_and_observe(&poison));
 //! ```
 
+pub mod attack;
 pub mod data;
 pub mod defense;
 pub mod eval;
@@ -49,6 +54,10 @@ pub mod shard;
 pub mod snapshot;
 pub mod system;
 
+pub use attack::{
+    Attack, AttackBudget, AttackCaps, AttackError, AttackStepStats, BudgetKind, BudgetUsage,
+    BudgetViolation, GuardedSystem, SystemCaps, UsageSnapshot,
+};
 pub use data::{Dataset, ItemId, LogView, Trajectory, UserId};
 pub use rankers::{Ranker, RankerKind, UnknownRanker};
 pub use remote::{RemoteError, RemoteSystem};

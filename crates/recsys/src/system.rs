@@ -69,6 +69,14 @@ pub trait ObservableSystem: Send + Sync {
     /// like the `i`-th of sequential single observations, whatever
     /// `threads` is.
     fn observe_batch(&self, batch: &[&[Trajectory]], threads: usize) -> Vec<Observation>;
+
+    /// What this system can offer attacks beyond black-box queries.
+    /// The default is the paper's threat model: nothing — no gradients.
+    /// `crate::attack` matches these against each attack's declared
+    /// [`crate::attack::AttackCaps`] before a single query is spent.
+    fn caps(&self) -> crate::attack::SystemCaps {
+        crate::attack::SystemCaps::default()
+    }
 }
 
 /// A configuration value failed validation at construction time.

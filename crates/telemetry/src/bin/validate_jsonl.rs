@@ -17,6 +17,16 @@
 //!   monotone per track, and `B`/`E` events nest LIFO per track
 //!   (see `telemetry::trace::validate_chrome`). `--trace` may also be
 //!   used alone, without a run log.
+//! * with `--zoo`, the run log is an attack-zoo grid log (`exp_zoo`)
+//!   instead: after the manifest, `zoo_step` events per cell (`attack`
+//!   × `ranker` × `n` × `t` × `transport` labels) must be strictly
+//!   increasing and gap-free — starting from 0 unless the cell logged
+//!   a `zoo_resumed` event first — with non-decreasing cumulative
+//!   `observations`; every stepping cell must finish with exactly one
+//!   `zoo_cell` summary whose `observations` respects its declared
+//!   `budget_observations` and whose `peak_fake_users` /
+//!   `peak_clicks_per_user` respect the cell's `n` / `t` labels (the
+//!   guard's budget accounting, visible in telemetry);
 //! * with `--access-log FILE`, `FILE` validates as a serve access log:
 //!   a leading `{"type":"manifest","kind":"access-log"}` line, then
 //!   `access` events whose `method` is a known verb, whose `status` is
@@ -163,9 +173,168 @@ fn check_access_log(path: &str) -> Result<String, String> {
     ))
 }
 
+/// Per-cell bookkeeping for the `--zoo` schema.
+struct ZooCellState {
+    next_step: Option<u64>,
+    resumed: bool,
+    observations: u64,
+    summarized: bool,
+}
+
+/// Validates an `exp_zoo` grid log; returns (cells, summary line).
+fn check_zoo_log(path: &str) -> Result<(usize, String), String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let mut lines = text.lines().enumerate();
+    let Some((_, first)) = lines.next() else {
+        return Err(format!("{path} is empty"));
+    };
+    let manifest = json::parse(first).map_err(|err| format!("{path} line 1: {err}"))?;
+    if manifest.get("type").and_then(Json::as_str) != Some("manifest") {
+        return Err(format!("{path} line 1 is not a manifest: {first}"));
+    }
+
+    let mut cells: BTreeMap<String, ZooCellState> = BTreeMap::new();
+    let mut events = 0u64;
+    for (lineno, line) in lines {
+        let at = |msg: String| format!("{path} line {}: {msg}", lineno + 1);
+        let value = json::parse(line).map_err(|err| at(err.to_string()))?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("no string `type` field".into()))?;
+        if !kind.starts_with("zoo_") {
+            continue; // metrics/... trailers only need to parse
+        }
+        events += 1;
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| at(format!("{kind} event without numeric `{name}`")))
+        };
+        let cell_key = {
+            let mut parts = Vec::new();
+            for label in ["attack", "ranker", "n", "t", "transport"] {
+                let v = value
+                    .get(label)
+                    .ok_or_else(|| at(format!("{kind} event without `{label}` label")))?;
+                parts.push(match v {
+                    Json::Str(s) => s.clone(),
+                    other => other.render(),
+                });
+            }
+            parts.join("|")
+        };
+        let state = cells.entry(cell_key.clone()).or_insert(ZooCellState {
+            next_step: None,
+            resumed: false,
+            observations: 0,
+            summarized: false,
+        });
+        if state.summarized && kind != "zoo_cell" {
+            return Err(at(format!(
+                "cell `{cell_key}` logged {kind} after its zoo_cell summary"
+            )));
+        }
+        match kind {
+            "zoo_step" => {
+                let step = field("step")?;
+                let observations = field("observations")?;
+                match state.next_step {
+                    Some(expected) if step != expected => {
+                        return Err(at(format!(
+                            "cell `{cell_key}` logged step {step}, expected {expected} \
+                             (steps must be monotone, gap-free)"
+                        )));
+                    }
+                    None if step != 0 && !state.resumed => {
+                        return Err(at(format!(
+                            "cell `{cell_key}` starts at step {step} without a zoo_resumed event"
+                        )));
+                    }
+                    _ => {}
+                }
+                state.next_step = Some(step + 1);
+                if observations < state.observations {
+                    return Err(at(format!(
+                        "cell `{cell_key}` observations regressed ({} -> {observations})",
+                        state.observations
+                    )));
+                }
+                state.observations = observations;
+            }
+            "zoo_resumed" => {
+                let step = field("step")?;
+                state.resumed = true;
+                state.next_step = Some(step);
+            }
+            "zoo_checkpoint" => {
+                field("step")?;
+                field("bytes")?;
+            }
+            "zoo_cell" => {
+                if state.summarized {
+                    return Err(at(format!("cell `{cell_key}` summarized twice")));
+                }
+                state.summarized = true;
+                let steps = field("steps")?;
+                let observations = field("observations")?;
+                let budget = field("budget_observations")?;
+                let peak_n = field("peak_fake_users")?;
+                let peak_t = field("peak_clicks_per_user")?;
+                if observations > budget {
+                    return Err(at(format!(
+                        "cell `{cell_key}` spent {observations} observation(s), \
+                         over its declared budget of {budget}"
+                    )));
+                }
+                if observations < state.observations {
+                    return Err(at(format!(
+                        "cell `{cell_key}` summary observations {observations} below \
+                         the last step's {}",
+                        state.observations
+                    )));
+                }
+                // `steps` counts the full history (resume restores the
+                // prefix), so it can only exceed the events seen here.
+                if let Some(seen) = state.next_step {
+                    if steps < seen {
+                        return Err(at(format!(
+                            "cell `{cell_key}` summary claims {steps} step(s) but \
+                             {seen} were logged"
+                        )));
+                    }
+                }
+                // The n/t labels ARE the declared budget: the guard
+                // must have kept the peaks inside them.
+                let n = value.get("n").and_then(Json::as_u64).unwrap_or(0);
+                let t = value.get("t").and_then(Json::as_u64).unwrap_or(0);
+                if peak_n > n || peak_t > t {
+                    return Err(at(format!(
+                        "cell `{cell_key}` peaks {peak_n}x{peak_t} exceed the \
+                         declared {n}x{t} budget"
+                    )));
+                }
+            }
+            other => return Err(at(format!("unknown zoo event type `{other}`"))),
+        }
+    }
+    for (cell_key, state) in &cells {
+        if !state.summarized {
+            return Err(format!(
+                "{path}: cell `{cell_key}` logged events but no zoo_cell summary"
+            ));
+        }
+    }
+    Ok((
+        cells.len(),
+        format!("zoo log OK — {events} event(s), {} cell(s)", cells.len()),
+    ))
+}
+
 fn main() -> ExitCode {
-    let usage = "usage: validate_jsonl [<run.jsonl>] [--expect-steps N] [--expect-cells N] \
-                 [--trace FILE] [--access-log FILE]";
+    let usage = "usage: validate_jsonl [<run.jsonl>] [--zoo] [--expect-steps N] \
+                 [--expect-cells N] [--trace FILE] [--access-log FILE]";
     let mut args = std::env::args().skip(1);
     let Some(first) = args.next() else {
         return fail(usage.into());
@@ -174,6 +343,7 @@ fn main() -> ExitCode {
     let mut expect_cells: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut access_path: Option<String> = None;
+    let mut zoo = false;
     let path = if first == "--trace" || first == "--access-log" {
         match args.next() {
             Some(p) if first == "--trace" => trace_path = Some(p),
@@ -186,6 +356,7 @@ fn main() -> ExitCode {
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--zoo" => zoo = true,
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(p),
                 None => return fail(usage.into()),
@@ -224,6 +395,28 @@ fn main() -> ExitCode {
         println!("validate_jsonl: OK — {}", summary.join(", "));
         return ExitCode::SUCCESS;
     };
+
+    if zoo {
+        if expect_steps.is_some() {
+            return fail("--expect-steps is per-family in a zoo grid; not valid with --zoo".into());
+        }
+        let (cells, summary) = match check_zoo_log(&path) {
+            Ok(result) => result,
+            Err(err) => return fail(err),
+        };
+        if let Some(want) = expect_cells {
+            if cells != want {
+                return fail(format!("{cells} zoo cell(s) logged, expected {want}"));
+            }
+        }
+        let extra: String = [trace_summary, access_summary]
+            .into_iter()
+            .flatten()
+            .map(|s| format!(", {s}"))
+            .collect();
+        println!("validate_jsonl: OK — {summary}{extra}");
+        return ExitCode::SUCCESS;
+    }
 
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,

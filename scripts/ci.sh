@@ -119,6 +119,32 @@ cargo run --release -p bench --bin exp_serve -- \
 cargo run --release -p telemetry --bin validate_jsonl -- \
     --access-log "$many_dir/access.jsonl"
 
+echo "==> attack zoo smoke (tiny grid, one cell per family, local + wire)"
+# exp_zoo drives every registered attack family through the shared
+# run_attack lifecycle on one tiny cell each — in-process AND through
+# RemoteSystem over a real socket, asserting the two are bit-identical
+# per cell. The zoo telemetry log must validate under the zoo schema
+# (gap-free steps per cell, observations within the declared budget,
+# injection peaks within N x T, one summary per cell).
+zoo_dir="$smoke_dir/zoo"
+mkdir -p "$zoo_dir"
+ZOO_BUDGETS=4x6 ZOO_TRANSPORT=both ZOO_SHARDS=2 \
+ZOO_APPGRAD_ITERS=2 ZOO_INFLUENCE_ROUNDS=2 \
+cargo run --release -p bench --bin exp_zoo -- \
+    --scale 0.02 --steps 2 --episodes 4 --attackers 4 --trajectory 6 \
+    --dim 8 --eval-users 16 --rankers itempop --datasets steam \
+    --out "$zoo_dir" --telemetry "$zoo_dir/zoo.jsonl" >/dev/null
+# 8 families x 2 transports.
+cargo run --release -p telemetry --bin validate_jsonl -- \
+    "$zoo_dir/zoo.jsonl" --zoo --expect-cells 16
+
+echo "==> attack zoo conformance suite (release)"
+# Every registered family through the pinned checks: thread
+# invariance, wire transparency at shards 1 and 4, interrupt+resume
+# bit-identity, and the budget/capability property tests — re-proven
+# under release codegen, which is what the experiment grids run.
+cargo test -q --release --test attack_conformance --test attack_budget
+
 echo "==> perf gate (tiny bench snapshot + perf_diff both ways)"
 # A fresh snapshot must pass against itself, and the committed +20%
 # regression fixture must fail the gate (exit non-zero).

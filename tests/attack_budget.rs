@@ -1,0 +1,213 @@
+//! Property tests for budget accounting at the `ObservableSystem`
+//! boundary (ISSUE 8): no attack — under *any* randomly drawn budget —
+//! injects more fake users or feedback than its cell declared, and
+//! every impossible cell (overspent observations, capability
+//! mismatches, budgets the victim cannot host) comes back as a typed
+//! [`AttackError`], never a panic.
+//!
+//! Two layers are pinned:
+//!
+//! * the guard itself ([`GuardedSystem`]): an over-budget injection is
+//!   refused *whole* — nothing is spent, the usage tally and the
+//!   system's observation ordinal are untouched, so a refusal can
+//!   never perturb a later run's seed stream;
+//! * the zoo driver ([`poisonrec::run_attack`]) over every registered
+//!   [`AttackFamily`]: whatever the budget, the outcome is either a
+//!   completed run whose guard-counted usage respects the declaration,
+//!   or a typed refusal.
+
+use baselines::{AppGradConfig, AttackFamily, ConsLopConfig, InfluenceConfig, ZooTuning};
+use poisonrec::{run_attack, ActionSpaceKind, PoisonRecConfig, PolicyConfig, PpoConfig, ZooConfig};
+use proptest::prelude::*;
+use recsys::attack::{AttackBudget, AttackError, GuardedSystem};
+use recsys::data::{Dataset, Trajectory};
+use recsys::rankers::ItemPop;
+use recsys::system::{BlackBoxSystem, SystemConfig};
+
+fn tiny_log() -> Dataset {
+    let histories = (0..40u32)
+        .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
+        .collect();
+    Dataset::from_histories("tiny", histories, 60, 8)
+}
+
+const RESERVE: u32 = 8;
+
+fn tiny_system() -> BlackBoxSystem {
+    BlackBoxSystem::build(
+        tiny_log(),
+        Box::new(ItemPop::new()),
+        SystemConfig {
+            eval_users: 24,
+            reserve_attackers: RESERVE,
+            ..SystemConfig::default()
+        },
+    )
+}
+
+fn tiny_tuning() -> ZooTuning {
+    ZooTuning {
+        seed: 11,
+        poisonrec: PoisonRecConfig {
+            policy: PolicyConfig {
+                dim: 8,
+                init_scale: 0.1,
+                ..PolicyConfig::default()
+            },
+            ppo: PpoConfig {
+                lr: 0.01,
+                samples_per_step: 2,
+                batch: 2,
+                epochs: 1,
+                ..PpoConfig::default()
+            },
+            action_space: ActionSpaceKind::BcbtPopular,
+            seed: 5,
+            threads: 1,
+        },
+        poisonrec_steps: 1,
+        appgrad: AppGradConfig {
+            iterations: 1,
+            ..AppGradConfig::default()
+        },
+        conslop: ConsLopConfig::default(),
+        influence: InfluenceConfig {
+            rounds: 1,
+            dim: 8,
+            epochs: 1,
+            filler_pool: 4,
+        },
+    }
+}
+
+/// A poison of `users` trajectories, `clicks` items each, drawn from
+/// the tiny catalog.
+fn poison(users: u64, clicks: u64) -> Vec<Trajectory> {
+    (0..users)
+        .map(|u| (0..clicks).map(|c| ((u * 7 + c) % 60) as u32).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The guard enforces all three budget axes on injection: a batch
+    /// is either fully admitted (and fully counted) or fully refused
+    /// with a typed budget violation — and a refusal spends nothing,
+    /// on the guard's tally *and* on the system's observation ordinal.
+    #[test]
+    fn guard_refuses_overspends_whole_and_spends_nothing(
+        declared_users in 1u32..7,
+        declared_clicks in 1usize..7,
+        declared_obs in 0u64..4,
+        inject_users in 1u64..9,
+        inject_clicks in 1u64..9,
+    ) {
+        let system = tiny_system();
+        let budget = AttackBudget {
+            fake_users: declared_users,
+            clicks_per_user: declared_clicks,
+            observations: declared_obs,
+        };
+        let guard = GuardedSystem::new(&system, budget);
+        let batch = poison(inject_users, inject_clicks);
+        let in_budget = declared_obs >= 1
+            && inject_users <= u64::from(declared_users)
+            && inject_clicks <= declared_clicks as u64;
+
+        match guard.try_observe(&batch) {
+            Ok(_) => {
+                prop_assert!(in_budget, "guard admitted an over-budget injection");
+                let usage = guard.usage();
+                prop_assert_eq!(usage.observations, 1);
+                prop_assert_eq!(usage.peak_fake_users, inject_users);
+                prop_assert_eq!(usage.peak_clicks_per_user, inject_clicks);
+                prop_assert_eq!(usage.feedback_events, inject_users * inject_clicks);
+                prop_assert_eq!(system.observations_spent(), 1);
+            }
+            Err(AttackError::Budget(violation)) => {
+                prop_assert!(!in_budget, "guard refused an in-budget injection: {}", violation);
+                // Refusal is check-first: nothing was spent anywhere.
+                prop_assert_eq!(guard.usage(), Default::default());
+                prop_assert_eq!(system.observations_spent(), 0);
+                prop_assert!(violation.requested > violation.declared);
+            }
+            Err(other) => return Err(TestCaseError::Fail(format!(
+                "expected Ok or a typed budget violation, got {other}"
+            ))),
+        }
+    }
+
+    /// Driving any registered family under any drawn budget either
+    /// completes with guard-counted usage inside the declaration, or
+    /// refuses with a typed error. Nothing panics; over-reserve
+    /// budgets and starved observation budgets are both typed.
+    #[test]
+    fn every_family_respects_any_declared_budget(
+        family_idx in 0usize..AttackFamily::ALL.len(),
+        fake_users in 1u32..13,
+        clicks_per_user in 1usize..9,
+        observations in 0u64..9,
+    ) {
+        let family = AttackFamily::ALL[family_idx];
+        let tuning = tiny_tuning();
+        let budget = AttackBudget { fake_users, clicks_per_user, observations };
+        let system = tiny_system();
+        let log = tiny_log();
+        let mut attack = family.build(&tuning, Some(&log)).expect("buildable with a log");
+
+        match run_attack(attack.as_mut(), &system, &ZooConfig::new(budget), &mut |_| {}) {
+            Ok(run) => {
+                prop_assert!(run.usage.observations <= observations,
+                    "{} spent {} observation(s) of {} declared",
+                    family, run.usage.observations, observations);
+                prop_assert!(run.usage.peak_fake_users <= u64::from(fake_users));
+                prop_assert!(run.usage.peak_clicks_per_user <= clicks_per_user as u64);
+                prop_assert!(run.poison.len() <= fake_users as usize);
+                prop_assert!(run.poison.iter().all(|t| t.len() <= clicks_per_user));
+                // The system's own ledger agrees with the guard's.
+                prop_assert_eq!(system.observations_spent(), run.usage.observations);
+            }
+            Err(AttackError::Budget(violation)) => {
+                prop_assert!(violation.requested > violation.declared);
+                // The guard never let the overspend through.
+                prop_assert!(system.observations_spent() <= observations);
+            }
+            Err(AttackError::Config(_)) => {
+                // The driver's reserve gate: budgets the victim cannot
+                // host are refused before anything runs.
+                prop_assert!(fake_users > RESERVE);
+                prop_assert_eq!(system.observations_spent(), 0);
+            }
+            Err(AttackError::Capability { .. } | AttackError::State(_)) => {
+                return Err(TestCaseError::Fail(format!(
+                    "{family} refused a plain cell with a non-budget error"
+                )));
+            }
+        }
+    }
+
+    /// Capability mismatches are typed at construction: families that
+    /// declare `model_required` refuse to build without the log —
+    /// naming themselves — and never panic.
+    #[test]
+    fn capability_mismatches_are_typed_not_panics(
+        family_idx in 0usize..AttackFamily::ALL.len(),
+    ) {
+        let family = AttackFamily::ALL[family_idx];
+        match family.build(&tiny_tuning(), None) {
+            Ok(attack) => {
+                prop_assert!(!family.requires_log());
+                prop_assert!(!attack.caps().model_required,
+                    "{} built log-free but declares model_required", family);
+            }
+            Err(AttackError::Capability { attack, .. }) => {
+                prop_assert!(family.requires_log());
+                prop_assert_eq!(attack, family.name());
+            }
+            Err(other) => return Err(TestCaseError::Fail(format!(
+                "{family}: expected a capability refusal, got {other}"
+            ))),
+        }
+    }
+}
