@@ -24,6 +24,13 @@
 //! 4. **Retrain under load** — read p99 idle vs during a
 //!    feedback→retrain churn loop; snapshot publication is per-shard
 //!    atomic and wait-free for readers, so serving must not stall.
+//! 5. **Live-metrics plane overhead** — the same read load with the
+//!    streaming plane disabled (`telemetry::stream::set_enabled`)
+//!    versus enabled; plane-on latency must stay within
+//!    `SERVE_PLANE_GATE`× of plane-off (default 3.0 — the per-request
+//!    cost is a labeled counter bump plus two windowed records, so the
+//!    real ratio is ~1.0 and the gate only catches regressions that
+//!    put locks or allocation back on the hot path).
 //!
 //! Environment knobs (`ExpArgs` covers the attack cell; the grid is
 //! env-tuned so `scripts/ci.sh` can shrink it):
@@ -222,6 +229,7 @@ fn main() {
     let mut cells: Vec<GridCell> = Vec::new();
     let mut idle_summary: Option<(usize, f64, f64, u64)> = None;
     let mut churn_summary = None;
+    let mut plane_summary: Option<[(f64, f64); 2]> = None;
 
     for (i, &shards) in shards_grid.iter().enumerate() {
         let last = i + 1 == shards_grid.len();
@@ -380,6 +388,33 @@ fn main() {
                 "  idle p99 {idle_p99:.6}s — during {retrains} retrain(s) p99 {under_p99:.6}s"
             );
             churn_summary = Some((idle_p99, under_p99));
+
+            // ---- Phase 5: live-metrics plane off vs on ------------------
+            println!("phase 5: read latency with the live-metrics plane off vs on");
+            let gate: f64 = std::env::var("SERVE_PLANE_GATE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3.0);
+            telemetry::stream::set_enabled(false);
+            let off = run_load(&addr, probe_conns, requests, num_users);
+            telemetry::stream::set_enabled(true);
+            let on = run_load(&addr, probe_conns, requests, num_users);
+            let off_pair = (percentile(&off.sorted, 0.50), percentile(&off.sorted, 0.99));
+            let on_pair = (percentile(&on.sorted, 0.50), percentile(&on.sorted, 0.99));
+            println!(
+                "  plane off: p50 {:.6}s p99 {:.6}s — plane on: p50 {:.6}s p99 {:.6}s",
+                off_pair.0, off_pair.1, on_pair.0, on_pair.1
+            );
+            assert!(
+                on_pair.0 <= off_pair.0 * gate && on_pair.1 <= off_pair.1 * gate,
+                "live-metrics plane costs more than {gate}x on the read path \
+                 (off p50/p99 {:.6}/{:.6}s, on {:.6}/{:.6}s)",
+                off_pair.0,
+                off_pair.1,
+                on_pair.0,
+                on_pair.1
+            );
+            plane_summary = Some([off_pair, on_pair]);
         }
 
         // ---- Shutdown ledger --------------------------------------------
@@ -427,6 +462,12 @@ fn main() {
         if let Some((idle_p99, under_p99)) = churn_summary {
             snapshot.push("serve/retrain_idle_read_p99_secs", idle_p99, "s");
             snapshot.push("serve/retrain_churn_read_p99_secs", under_p99, "s");
+        }
+        if let Some([(off_p50, off_p99), (on_p50, on_p99)]) = plane_summary {
+            snapshot.push("serve/plane_off_read_p50_secs", off_p50, "s");
+            snapshot.push("serve/plane_off_read_p99_secs", off_p99, "s");
+            snapshot.push("serve/plane_on_read_p50_secs", on_p50, "s");
+            snapshot.push("serve/plane_on_read_p99_secs", on_p99, "s");
         }
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {

@@ -305,9 +305,30 @@ pub fn run_attack(
         }
     }
 
+    // Live spend attribution: every step's guard-ledger delta is
+    // counted against this attack's label, so `/metrics` (and obs_top)
+    // can show which zoo cell is spending the budget *while it runs*.
+    // Pure observation of usage deltas — never touches the guard.
+    let spend = telemetry::stream::counter_family("attack_guard_spend", &["attack", "resource"]);
+    let attack_label = attack.name().to_string();
+    let mut spent = guard.usage();
+
+    let attribute_spend = |spent: &mut UsageSnapshot, now: UsageSnapshot| {
+        let obs = now.observations.saturating_sub(spent.observations);
+        if obs > 0 {
+            spend.add(&[attack_label.as_str(), "observations"], obs);
+        }
+        let events = now.feedback_events.saturating_sub(spent.feedback_events);
+        if events > 0 {
+            spend.add(&[attack_label.as_str(), "feedback_events"], events);
+        }
+        *spent = now;
+    };
+
     let total = cfg.steps.unwrap_or_else(|| attack.planned_steps());
     while attack.steps_done() < total {
         let stats = attack.step(&guard, cfg.threads)?;
+        attribute_spend(&mut spent, guard.usage());
         history.push(stats);
         on_event(ZooEvent::Step(&stats));
         let done = attack.steps_done();
@@ -324,7 +345,9 @@ pub fn run_attack(
 
     let poison = attack.poison()?;
     let final_rec_num = if cfg.evaluate_final {
-        Some(guard.try_observe(&poison)?.rec_num)
+        let rec_num = guard.try_observe(&poison)?.rec_num;
+        attribute_spend(&mut spent, guard.usage());
+        Some(rec_num)
     } else {
         None
     };

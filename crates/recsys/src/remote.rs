@@ -141,6 +141,21 @@ impl HttpClient {
         path: &str,
         body: Option<&Json>,
     ) -> Result<(u16, Json), RemoteError> {
+        let (status, text) = self.request_text(method, path, body)?;
+        let parsed = json::parse(&text)
+            .map_err(|err| RemoteError::Protocol(format!("unparseable body ({err}): {text}")))?;
+        Ok((status, parsed))
+    }
+
+    /// Like [`HttpClient::request`] but returns the response body as
+    /// raw text — for endpoints that answer non-JSON payloads, e.g.
+    /// `GET /metrics?format=prom` (Prometheus text exposition).
+    pub fn request_text(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, String), RemoteError> {
         let reused = self.stream.is_some();
         match self.try_request(method, path, body) {
             Err(RemoteError::Io(err)) if reused => {
@@ -158,7 +173,7 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&Json>,
-    ) -> Result<(u16, Json), RemoteError> {
+    ) -> Result<(u16, String), RemoteError> {
         let rendered = body.map(|b| b.render());
         let payload = rendered.as_deref().unwrap_or("");
         let reader = self.ensure_connected()?;
@@ -186,9 +201,7 @@ impl HttpClient {
         if close {
             self.stream = None;
         }
-        let parsed = json::parse(&text)
-            .map_err(|err| RemoteError::Protocol(format!("unparseable body ({err}): {text}")))?;
-        Ok((status, parsed))
+        Ok((status, text))
     }
 
     /// Parses one `Content-Length`-framed response off the connection.

@@ -55,12 +55,27 @@ use telemetry::json::{self, Json};
 
 use crate::http::Request;
 
+/// Exposition format for `GET /metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// The JSON snapshot (cumulative registry + `"stream"` sub-object).
+    #[default]
+    Json,
+    /// Prometheus text exposition 0.0.4.
+    Prom,
+}
+
 /// A parsed, typed request target. Everything downstream of parsing
 /// dispatches on this — never on path strings.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Route {
     Healthz,
-    Metrics,
+    Metrics {
+        format: MetricsFormat,
+        /// `?window=SECS` narrows the streaming views; `None` uses each
+        /// instrument's full window.
+        window: Option<u32>,
+    },
     Info,
     Feedback,
     Retrain,
@@ -102,7 +117,7 @@ impl Route {
     ) -> Result<Route, RouteError> {
         let route = match path {
             "/healthz" => Some(Route::Healthz),
-            "/metrics" => Some(Route::Metrics),
+            "/metrics" => Some(Route::parse_metrics(query)?),
             "/info" => Some(Route::Info),
             "/feedback" => Some(Route::Feedback),
             "/retrain" => Some(Route::Retrain),
@@ -137,10 +152,44 @@ impl Route {
         Err(RouteError::new(404, format!("no route for {path}")))
     }
 
+    /// `/metrics` query handling: `?format=json|prom` (default json)
+    /// and `?window=SECS` (positive whole seconds).
+    fn parse_metrics(query: &[(String, String)]) -> Result<Route, RouteError> {
+        let format = match query.iter().find(|(name, _)| name == "format") {
+            None => MetricsFormat::Json,
+            Some((_, raw)) => match raw.as_str() {
+                "json" => MetricsFormat::Json,
+                "prom" => MetricsFormat::Prom,
+                _ => return Err(RouteError::new(400, format!("bad format {raw:?}"))),
+            },
+        };
+        let window = match query.iter().find(|(name, _)| name == "window") {
+            None => None,
+            Some((_, raw)) => match raw.parse::<u32>() {
+                Ok(secs) if secs > 0 => Some(secs),
+                _ => return Err(RouteError::new(400, format!("bad window {raw:?}"))),
+            },
+        };
+        Ok(Route::Metrics { format, window })
+    }
+
     /// Fast routes are answered inline on the event loop (lock-free
     /// snapshot reads); slow ones are offloaded to the worker set.
     pub fn is_fast(&self) -> bool {
         !matches!(self, Route::Feedback | Route::Retrain)
+    }
+
+    /// Stable label value for the `serve_requests` metric family (one
+    /// per variant — bounded cardinality by construction).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Route::Healthz => "healthz",
+            Route::Metrics { .. } => "metrics",
+            Route::Info => "info",
+            Route::Feedback => "feedback",
+            Route::Retrain => "retrain",
+            Route::Recommend { .. } => "recommend",
+        }
     }
 
     /// The shard whose snapshot cell answers this route, given the
@@ -155,10 +204,16 @@ impl Route {
 
 /// A routed response: status + JSON body, tagged with the snapshot
 /// generation and owning shard that answered (for the access log).
+///
+/// Most responses are JSON; `raw` overrides the body with pre-rendered
+/// text (the Prometheus exposition) under a non-JSON content type.
 #[derive(Debug)]
 pub struct AppResponse {
     pub status: u16,
     pub body: Json,
+    /// Pre-rendered non-JSON body; when set, `body` is `Json::Null`.
+    pub raw: Option<String>,
+    pub content_type: &'static str,
     pub generation: u64,
     /// The shard whose snapshot cell served the response (0 for
     /// routes that are not per-user).
@@ -170,8 +225,21 @@ impl AppResponse {
         Self {
             status: 200,
             body,
+            raw: None,
+            content_type: "application/json",
             generation,
             shard,
+        }
+    }
+
+    fn text(content_type: &'static str, text: String, generation: u64) -> Self {
+        Self {
+            status: 200,
+            body: Json::Null,
+            raw: Some(text),
+            content_type,
+            generation,
+            shard: 0,
         }
     }
 
@@ -179,8 +247,19 @@ impl AppResponse {
         Self {
             status,
             body: Json::obj().field("error", message.into()),
+            raw: None,
+            content_type: "application/json",
             generation,
             shard: 0,
+        }
+    }
+
+    /// The wire body: the raw text when set, the rendered JSON
+    /// otherwise.
+    pub fn render_body(&self) -> String {
+        match &self.raw {
+            Some(text) => text.clone(),
+            None => self.body.render(),
         }
     }
 }
@@ -216,6 +295,16 @@ pub struct RecApp {
     /// Optional online injection filter consulted per trajectory.
     defense: Option<OnlineFilter>,
     flagged_total: AtomicU64,
+    /// Per-item popularity (catalog order), frozen at construction —
+    /// the reference the popularity drift detector scores against.
+    popularity: Vec<f64>,
+    /// CUSUM over each trajectory's mean clicked-item popularity
+    /// (attack sessions skew cold/target-heavy — see defense.rs).
+    pop_drift: std::sync::Arc<telemetry::DriftDetector>,
+    /// CUSUM over per-user (per-trajectory) click counts.
+    rate_drift: std::sync::Arc<telemetry::DriftDetector>,
+    /// Windowed trajectory arrivals: the live feedback ingest rate.
+    feedback_rate: std::sync::Arc<telemetry::WindowedCounter>,
 }
 
 impl RecApp {
@@ -224,6 +313,12 @@ impl RecApp {
     /// feedback at ingestion. Use [`RecApp::reshard`] to spread state.
     pub fn new(system: BlackBoxSystem, defense: Option<OnlineFilter>) -> Self {
         let snapshot = std::sync::Arc::new(system.clean_snapshot());
+        let popularity: Vec<f64> = system
+            .public_info()
+            .popularity
+            .iter()
+            .map(|&p| f64::from(p))
+            .collect();
         Self {
             system,
             snapshots: ShardedPublished::new(1, snapshot),
@@ -235,6 +330,16 @@ impl RecApp {
             retrain: Mutex::new(()),
             defense,
             flagged_total: AtomicU64::new(0),
+            popularity,
+            pop_drift: telemetry::stream::detector(
+                "serve_feedback_pop_drift",
+                telemetry::CusumConfig::default(),
+            ),
+            rate_drift: telemetry::stream::detector(
+                "serve_feedback_rate_drift",
+                telemetry::CusumConfig::default(),
+            ),
+            feedback_rate: telemetry::stream::windowed_counter("serve_feedback_trajectories"),
         }
     }
 
@@ -292,7 +397,7 @@ impl RecApp {
     pub fn dispatch(&self, route: &Route, body: &[u8]) -> AppResponse {
         match route {
             Route::Healthz => self.healthz(),
-            Route::Metrics => self.metrics(),
+            Route::Metrics { format, window } => self.metrics(*format, *window),
             Route::Info => self.info(),
             Route::Feedback => self.feedback(body),
             Route::Retrain => self.retrain(),
@@ -312,12 +417,26 @@ impl RecApp {
         )
     }
 
-    fn metrics(&self) -> AppResponse {
-        AppResponse::ok(
-            telemetry::metrics::snapshot().to_json(),
-            self.generation(),
-            0,
-        )
+    /// Both layers of the observability plane in one scrape: the
+    /// cumulative registry plus the streaming plane, as either the
+    /// JSON snapshot (stream views under a `"stream"` key, preserving
+    /// the pre-existing top-level shape) or Prometheus text.
+    fn metrics(&self, format: MetricsFormat, window: Option<u32>) -> AppResponse {
+        let window_secs = window.map(f64::from);
+        let cumulative = telemetry::metrics::snapshot();
+        let stream = telemetry::stream::snapshot(window_secs);
+        match format {
+            MetricsFormat::Json => AppResponse::ok(
+                cumulative.to_json().field("stream", stream.to_json()),
+                self.generation(),
+                0,
+            ),
+            MetricsFormat::Prom => AppResponse::text(
+                "text/plain; version=0.0.4",
+                telemetry::prom::render(&cumulative, &stream),
+                self.generation(),
+            ),
+        }
     }
 
     /// The experimenter-side disclosure: everything an in-process
@@ -438,6 +557,13 @@ impl RecApp {
             parsed.push(traj);
         }
 
+        // Streaming plane: observe the *offered* stream (pre-defense,
+        // pre-admission) so the drift detectors see what an attacker
+        // sends, not what survives filtering. Observation only — no
+        // effect on admission, ordering, or any RNG, so the over-the-
+        // wire replay stays bit-identical to the in-process path.
+        self.observe_feedback_stream(&parsed);
+
         // Online defense: score each trajectory against the frozen
         // threshold; flagged ones are dropped at the door.
         let mut admitted = Vec::with_capacity(parsed.len());
@@ -496,6 +622,30 @@ impl RecApp {
             generation,
             0,
         )
+    }
+
+    /// Feeds the feedback drift detectors and the windowed ingest
+    /// counter. `serve_feedback_pop_drift` watches each trajectory's
+    /// mean clicked-item popularity (target-hammering sessions drag it
+    /// down); `serve_feedback_rate_drift` watches per-user click
+    /// counts. Their state is published via `/metrics` — the hook the
+    /// adaptive defense (ROADMAP item 3) will calibrate from.
+    fn observe_feedback_stream(&self, parsed: &[Trajectory]) {
+        if !telemetry::stream::enabled() || parsed.is_empty() {
+            return;
+        }
+        self.feedback_rate.add(parsed.len() as u64);
+        for traj in parsed {
+            if traj.is_empty() {
+                continue;
+            }
+            let sum: f64 = traj
+                .iter()
+                .map(|&i| self.popularity.get(i as usize).copied().unwrap_or(0.0))
+                .sum();
+            self.pop_drift.observe(sum / traj.len() as f64);
+            self.rate_drift.observe(traj.len() as f64);
+        }
     }
 
     /// Drains every shard's pending feedback into a fresh generation
@@ -633,6 +783,71 @@ mod tests {
         );
         // 404: unknown path.
         assert_eq!(Route::parse("GET", "/nope", &[]).unwrap_err().status, 404);
+        // /metrics query handling.
+        assert_eq!(
+            Route::parse("GET", "/metrics", &[]),
+            Ok(Route::Metrics {
+                format: MetricsFormat::Json,
+                window: None
+            })
+        );
+        assert_eq!(
+            Route::parse(
+                "GET",
+                "/metrics",
+                &q(&[("format", "prom"), ("window", "10")])
+            ),
+            Ok(Route::Metrics {
+                format: MetricsFormat::Prom,
+                window: Some(10)
+            })
+        );
+        for bad in [
+            q(&[("format", "xml")]),
+            q(&[("window", "0")]),
+            q(&[("window", "-3")]),
+            q(&[("window", "soon")]),
+        ] {
+            assert_eq!(
+                Route::parse("GET", "/metrics", &bad).unwrap_err().status,
+                400
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_renders_both_formats() {
+        let app = app();
+        let json = get(&app, "/metrics");
+        assert_eq!(json.status, 200);
+        assert_eq!(json.content_type, "application/json");
+        assert!(
+            json.body.get("stream").is_some(),
+            "JSON scrape carries the stream plane"
+        );
+
+        let prom = get(&app, "/metrics?format=prom");
+        assert_eq!(prom.status, 200);
+        assert!(prom.content_type.starts_with("text/plain"));
+        let text = prom.render_body();
+        // RecApp::new registers these in the global stream registry,
+        // so they are present regardless of which tests ran before.
+        assert!(
+            text.contains("# TYPE serve_feedback_pop_drift gauge"),
+            "text:\n{text}"
+        );
+        assert!(
+            text.contains("serve_feedback_trajectories_rate{window=\"60\"}"),
+            "text:\n{text}"
+        );
+        // The windowed views narrow with ?window=.
+        let narrow = get(&app, "/metrics?format=prom&window=5");
+        assert!(narrow
+            .render_body()
+            .contains("serve_feedback_trajectories_rate{window=\"5\"}"));
+
+        let bad = get(&app, "/metrics?format=xml");
+        assert_eq!(bad.status, 400);
     }
 
     #[test]

@@ -157,10 +157,26 @@ impl Connection {
     /// response closes the connection when the request asked for it
     /// (`Connection: close`) or the caller forces it (shutdown).
     pub fn push_response(&mut self, status: u16, body: &str, force_close: bool) {
+        self.push_response_with(status, "application/json", body, force_close);
+    }
+
+    /// [`Connection::push_response`] with an explicit content type
+    /// (the Prometheus exposition of `/metrics` is `text/plain`).
+    pub fn push_response_with(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        body: &str,
+        force_close: bool,
+    ) {
         debug_assert!(self.in_flight, "response without a taken request");
         let close = force_close || self.close_after_response;
-        self.outbox
-            .extend_from_slice(&http::render_response(status, body, close));
+        self.outbox.extend_from_slice(&http::render_response_with(
+            status,
+            content_type,
+            body,
+            close,
+        ));
         self.response_ends.push_back(self.outbox.len());
         self.in_flight = false;
         self.close_after_response = false;

@@ -289,8 +289,14 @@ pub const KNOWN_STATUSES: [u16; 7] = [200, 400, 404, 405, 409, 413, 500];
 
 /// Serializes one `Content-Length`-framed JSON response.
 pub fn render_response(status: u16, body: &str, close: bool) -> Vec<u8> {
+    render_response_with(status, "application/json", body, close)
+}
+
+/// Serializes one `Content-Length`-framed response with an explicit
+/// content type (Prometheus exposition is `text/plain`).
+pub fn render_response_with(status: u16, content_type: &str, body: &str, close: bool) -> Vec<u8> {
     let mut out = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         status_text(status),
         body.len()
     );

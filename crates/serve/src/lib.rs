@@ -10,7 +10,8 @@
 //! | `POST /feedback`          | buffer trajectories (optional online filter) |
 //! | `POST /retrain`           | drain feedback → fine-tune → atomic publish  |
 //! | `GET /info`               | experimenter-side disclosure                 |
-//! | `GET /metrics`            | global telemetry registry snapshot           |
+//! | `GET /metrics`            | metrics plane: JSON, or `?format=prom` text  |
+//! |                           | (`?window=SECS` narrows windowed series)     |
 //! | `GET /healthz`            | liveness + current generation                |
 //!
 //! Layering: [`http`] is the sans-io parser, [`conn`] the sans-io
@@ -57,14 +58,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use recsys::system::ConfigError;
 use telemetry::json::Json;
-use telemetry::JsonlSink;
+use telemetry::AsyncJsonlSink;
 
-pub use app::{AppResponse, RecApp, Route, RouteError};
+pub use app::{AppResponse, MetricsFormat, RecApp, Route, RouteError};
 pub use conn::{Connection, FeedOutcome, Inbound};
 pub use http::{HttpError, Limits, Request, RequestParser};
 pub use poll::{raise_nofile, Interest, Poller, Waker};
@@ -239,16 +240,69 @@ impl ShutdownStats {
 
 struct Shared {
     app: RecApp,
-    log: Option<JsonlSink>,
+    /// Access log behind a bounded queue + writer thread: the event
+    /// loop pays one `try_send`, never file I/O (DESIGN.md §5i).
+    log: Option<AsyncJsonlSink>,
     started: Instant,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
     connection_ids: AtomicU64,
     requests_accepted: AtomicU64,
     responses_completed: AtomicU64,
+    /// Ledger-counted access events enqueued to the log.
+    access_events: AtomicU64,
+    /// Ledger-counted access events dropped (log queue full).
+    access_dropped: AtomicU64,
     fault_plan: Option<Arc<runtime::FaultPlan>>,
     limits: Limits,
     max_conns: usize,
+}
+
+/// `serve_requests` label values are drawn from closed vocabularies
+/// (7 routes x 7 statuses x shard count), but the cap still guards the
+/// registry against a future labeling bug.
+const REQUEST_FAMILY_CAP: usize = 256;
+
+fn request_family() -> &'static Arc<telemetry::CounterFamily> {
+    static FAMILY: OnceLock<Arc<telemetry::CounterFamily>> = OnceLock::new();
+    FAMILY.get_or_init(|| {
+        telemetry::stream::counter_family_with_cap(
+            "serve_requests",
+            &["route", "status", "shard"],
+            REQUEST_FAMILY_CAP,
+        )
+    })
+}
+
+/// Windowed request-latency histogram (seconds), sub-millisecond-heavy
+/// bounds: snapshot reads answer in tens of microseconds.
+fn request_secs() -> &'static Arc<telemetry::WindowedHistogram> {
+    static HIST: OnceLock<Arc<telemetry::WindowedHistogram>> = OnceLock::new();
+    HIST.get_or_init(|| {
+        telemetry::stream::windowed_histogram(
+            "serve_request_secs",
+            &[
+                1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+                0.1, 0.25, 0.5, 1.0, 2.5,
+            ],
+        )
+    })
+}
+
+/// Windowed event-loop lag histogram (micros), replacing the old
+/// last-write-wins gauge of the same name: p99 lag over the last
+/// minute instead of "whatever the final write saw".
+fn loop_lag_micros() -> &'static Arc<telemetry::WindowedHistogram> {
+    static HIST: OnceLock<Arc<telemetry::WindowedHistogram>> = OnceLock::new();
+    HIST.get_or_init(|| {
+        telemetry::stream::windowed_histogram(
+            "serve_event_loop_lag_micros",
+            &[
+                10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5,
+                2.5e5, 5e5, 1e6,
+            ],
+        )
+    })
 }
 
 impl Shared {
@@ -257,6 +311,7 @@ impl Shared {
     /// Every request consumes one fault ordinal, fast or slow.
     fn compute(&self, route: &Result<Route, RouteError>, body: &[u8]) -> AppResponse {
         telemetry::metrics::counter("serve_requests_total").inc();
+        let timer = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(plan) = &self.fault_plan {
                 plan.on_unit();
@@ -266,6 +321,8 @@ impl Shared {
                 Err(err) => AppResponse {
                     status: err.status,
                     body: Json::obj().field("error", err.message.clone()),
+                    raw: None,
+                    content_type: "application/json",
                     generation: self.app.generation(),
                     shard: 0,
                 },
@@ -276,12 +333,24 @@ impl Shared {
             AppResponse {
                 status: 500,
                 body: Json::obj().field("error", "internal error"),
+                raw: None,
+                content_type: "application/json",
                 generation: self.app.generation(),
                 shard: 0,
             }
         });
         if resp.status >= 500 {
             telemetry::metrics::counter("serve_responses_5xx_total").inc();
+        }
+        if telemetry::stream::enabled() {
+            let route_label = match route {
+                Ok(route) => route.label(),
+                Err(_) => "invalid",
+            };
+            let status = resp.status.to_string();
+            let shard = resp.shard.to_string();
+            request_family().add(&[route_label, &status, &shard], 1);
+            request_secs().record(timer.elapsed().as_secs_f64());
         }
         resp
     }
@@ -292,6 +361,13 @@ impl Shared {
 /// require per-connection monotonicity without wall-clock caveats.
 /// `shard` is the snapshot cell that answered; `lag_micros` the
 /// parse-to-dispatch gap (event-loop lag under the event driver).
+///
+/// The emit is one bounded-queue `try_send`; a full queue drops the
+/// line, counted in `serve_access_log_dropped_total` and — for
+/// ledger-counted requests (parse-error responses, method `"?"`, are
+/// outside the accepted/completed ledger) — in the drop-accounting
+/// summary `validate_jsonl --access-log` checks:
+/// `events + dropped == completed`.
 #[allow(clippy::too_many_arguments)]
 fn log_access(
     shared: &Shared,
@@ -307,8 +383,9 @@ fn log_access(
     let Some(log) = &shared.log else {
         return;
     };
-    let _ = log.emit(
-        &Json::obj()
+    let counted = method != "?";
+    let emitted = log.emit(
+        Json::obj()
             .field("type", "access")
             .field("conn", conn)
             .field("method", method.to_string())
@@ -320,6 +397,16 @@ fn log_access(
             .field("lag_micros", lag_micros)
             .field("ts_micros", shared.started.elapsed().as_micros() as u64),
     );
+    if emitted {
+        if counted {
+            shared.access_events.fetch_add(1, Ordering::Relaxed);
+        }
+    } else {
+        telemetry::metrics::counter("serve_access_log_dropped_total").inc();
+        if counted {
+            shared.access_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A running server. Dropping it performs a graceful shutdown.
@@ -346,7 +433,10 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let log = match &cfg.access_log {
-            Some(path) => Some(JsonlSink::create(path)?),
+            Some(path) => Some(AsyncJsonlSink::create(
+                path,
+                telemetry::sink::ASYNC_SINK_CAPACITY,
+            )?),
             None => None,
         };
         let shared = Arc::new(Shared {
@@ -358,6 +448,8 @@ impl Server {
             connection_ids: AtomicU64::new(0),
             requests_accepted: AtomicU64::new(0),
             responses_completed: AtomicU64::new(0),
+            access_events: AtomicU64::new(0),
+            access_dropped: AtomicU64::new(0),
             fault_plan: cfg.fault_plan,
             limits: cfg.limits,
             max_conns: cfg.max_conns.max(1),
@@ -379,8 +471,10 @@ impl Server {
         }
 
         if let Some(log) = &shared.log {
+            // First enqueue into a fresh queue: cannot be full, and the
+            // FIFO writer guarantees the manifest stays line one.
             log.emit(
-                &Json::obj()
+                Json::obj()
                     .field("type", "manifest")
                     .field("kind", "access-log")
                     .field("addr", addr.to_string())
@@ -389,7 +483,7 @@ impl Server {
                     .field("shards", shared.app.n_shards())
                     .field("max_conns", shared.max_conns)
                     .field("driver", driver.name()),
-            )?;
+            );
         }
 
         let (driver_thread, waker) = match event_parts {
@@ -470,10 +564,26 @@ impl Server {
         }
         // Dropping the pool joins its workers (queue is drained first).
         self.pool = None;
-        ShutdownStats {
+        let stats = ShutdownStats {
             accepted: self.shared.requests_accepted.load(Ordering::SeqCst),
             completed: self.shared.responses_completed.load(Ordering::SeqCst),
+        };
+        // Drain the access-log queue to disk, then append the
+        // drop-accounting summary as the guaranteed-last line:
+        // events + dropped == completed (parse-error lines, method
+        // "?", sit outside the ledger and this accounting).
+        if let Some(log) = &self.shared.log {
+            if let Some(sink) = log.close() {
+                let _ = sink.emit(
+                    &Json::obj()
+                        .field("type", "access-summary")
+                        .field("events", self.shared.access_events.load(Ordering::SeqCst))
+                        .field("dropped", self.shared.access_dropped.load(Ordering::SeqCst))
+                        .field("completed", stats.completed),
+                );
+            }
         }
+        stats
     }
 }
 
@@ -502,6 +612,7 @@ const DRAIN_GRACE: Duration = Duration::from_secs(2);
 struct Completion {
     token: u64,
     status: u16,
+    content_type: &'static str,
     body: String,
     generation: u64,
     shard: u64,
@@ -735,7 +846,7 @@ impl EventLoop {
             }
             let inbound = entry.machine.take_request().expect("ready");
             let lag_micros = inbound.parsed_at.elapsed().as_micros() as u64;
-            telemetry::metrics::gauge("serve_event_loop_lag_micros").set(lag_micros as i64);
+            loop_lag_micros().record(lag_micros as f64);
             let req = inbound.request;
             let route = Route::parse(&req.method, &req.path, &req.query);
             let fast = route.as_ref().map_or(true, Route::is_fast);
@@ -745,9 +856,12 @@ impl EventLoop {
                 let micros = timer.elapsed().as_micros() as u64;
                 let force_close = self.shared.shutdown.load(Ordering::SeqCst);
                 let entry = self.conns.get_mut(&token).expect("still present");
-                entry
-                    .machine
-                    .push_response(resp.status, &resp.body.render(), force_close);
+                entry.machine.push_response_with(
+                    resp.status,
+                    resp.content_type,
+                    &resp.render_body(),
+                    force_close,
+                );
                 log_access(
                     &self.shared,
                     token,
@@ -772,7 +886,8 @@ impl EventLoop {
                     let _ = tx.send(Completion {
                         token,
                         status: resp.status,
-                        body: resp.body.render(),
+                        content_type: resp.content_type,
+                        body: resp.render_body(),
                         generation: resp.generation,
                         shard: resp.shard,
                         method: req.method,
@@ -793,9 +908,12 @@ impl EventLoop {
                 continue; // peer vanished while the handler ran
             };
             let force_close = self.shared.shutdown.load(Ordering::SeqCst);
-            entry
-                .machine
-                .push_response(done.status, &done.body, force_close);
+            entry.machine.push_response_with(
+                done.status,
+                done.content_type,
+                &done.body,
+                force_close,
+            );
             log_access(
                 &self.shared,
                 done.token,
@@ -990,7 +1108,12 @@ fn handle_connection_blocking(stream: TcpStream, shared: &Shared, conn: u64) {
             let resp = shared.compute(&route, &req.body);
             let micros = timer.elapsed().as_micros() as u64;
             let force_close = shared.shutdown.load(Ordering::SeqCst);
-            machine.push_response(resp.status, &resp.body.render(), force_close);
+            machine.push_response_with(
+                resp.status,
+                resp.content_type,
+                &resp.render_body(),
+                force_close,
+            );
             log_access(
                 shared,
                 conn,

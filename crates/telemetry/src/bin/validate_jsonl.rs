@@ -35,8 +35,14 @@
 //!   totally ordered), whose `ts_micros` is monotone non-decreasing
 //!   per `conn` (events on one connection are serialized), and whose
 //!   numeric `shard` / `lag_micros` fields are present — `shard` must
-//!   stay inside the manifest's declared `shards` count. Like
-//!   `--trace`, it may be used alone.
+//!   stay inside the manifest's declared `shards` count. The file must
+//!   end with exactly one `{"type":"access-summary"}` line whose drop
+//!   accounting balances: its `events` equals the request lines
+//!   actually present in the file (parse-error lines, method `"?"`,
+//!   are outside the ledger), and `events + dropped` equals the
+//!   server's `completed`-request ledger — every completed request is
+//!   either in the file or counted as dropped. Like `--trace`, it may
+//!   be used alone.
 //!
 //! Exit code 0 on success, 1 with a diagnostic on the first violation.
 
@@ -95,6 +101,8 @@ fn check_access_log(path: &str) -> Result<String, String> {
     let mut shards_seen: BTreeMap<u64, u64> = BTreeMap::new();
     let mut max_generation = 0u64;
     let mut events = 0u64;
+    let mut counted = 0u64;
+    let mut summary: Option<(u64, u64, u64)> = None;
     for (lineno, line) in lines {
         let at = |msg: String| format!("{path} line {}: {msg}", lineno + 1);
         let value = json::parse(line).map_err(|err| at(err.to_string()))?;
@@ -102,6 +110,21 @@ fn check_access_log(path: &str) -> Result<String, String> {
             .get("type")
             .and_then(Json::as_str)
             .ok_or_else(|| at("no string `type` field".into()))?;
+        if summary.is_some() {
+            return Err(at(format!(
+                "`{kind}` line after the access-summary (summary must be last)"
+            )));
+        }
+        if kind == "access-summary" {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| at(format!("access-summary without numeric `{name}`")))
+            };
+            summary = Some((field("events")?, field("dropped")?, field("completed")?));
+            continue;
+        }
         if kind != "access" {
             continue; // metrics/... trailers only need to parse
         }
@@ -134,6 +157,11 @@ fn check_access_log(path: &str) -> Result<String, String> {
         if !KNOWN_METHODS.contains(&method) {
             return Err(at(format!("unknown method {method:?}")));
         }
+        // Parse-error lines carry method "?" — they are logged but sit
+        // outside the accepted/completed ledger the summary balances.
+        if method != "?" {
+            counted += 1;
+        }
         if value.get("path").and_then(Json::as_str).is_none() {
             return Err(at("access event without `path`".into()));
         }
@@ -165,8 +193,28 @@ fn check_access_log(path: &str) -> Result<String, String> {
         }
         last_ts.insert(conn, ts);
     }
+    // Drop accounting: every request the server completed must be in
+    // the file or explicitly counted as dropped by the summary.
+    let Some((sum_events, sum_dropped, sum_completed)) = summary else {
+        return Err(format!(
+            "{path} has no trailing access-summary line (written on graceful shutdown)"
+        ));
+    };
+    if sum_events != counted {
+        return Err(format!(
+            "{path}: access-summary claims {sum_events} event(s) but the file holds \
+             {counted} ledger-counted request line(s)"
+        ));
+    }
+    if sum_events + sum_dropped != sum_completed {
+        return Err(format!(
+            "{path}: drop accounting does not balance: events {sum_events} + dropped \
+             {sum_dropped} != completed {sum_completed}"
+        ));
+    }
     Ok(format!(
-        "access log OK — {events} request(s) on {} connection(s), {} shard(s), {} generation(s)",
+        "access log OK — {events} request(s) on {} connection(s), {} shard(s), \
+         {} generation(s), {sum_dropped} dropped of {sum_completed} completed",
         last_ts.len(),
         shards_seen.len().max(1),
         max_generation + 1

@@ -1,0 +1,422 @@
+//! Validates Prometheus text exposition (version 0.0.4) scrapes — the
+//! CI smoke stage runs this on live `/metrics?format=prom` output so
+//! the renderer can never silently drift off the format.
+//!
+//! ```text
+//! validate_prom scrape1.prom [scrape2.prom]
+//! ```
+//!
+//! Per file:
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names match
+//!   `[a-zA-Z_][a-zA-Z0-9_]*`, label values are properly quoted with
+//!   only `\\` / `\"` / `\n` escapes, no duplicate label names;
+//! * every sample resolves to a `# TYPE` line that precedes it (for a
+//!   histogram, `x_bucket` / `x_sum` / `x_count` resolve to `x`), and
+//!   no name declares its TYPE twice;
+//! * values parse (`+Inf` / `-Inf` / `NaN` allowed by the grammar);
+//!   counter-typed samples must be finite and non-negative;
+//! * histogram bucket series are cumulative: per label set, `le`
+//!   bounds strictly increase, counts never decrease, the series ends
+//!   at `le="+Inf"`, and `x_count` equals the `+Inf` bucket.
+//!
+//! With a second file (a later scrape of the *same* server), every
+//! counter-typed series and histogram bucket/count/sum from the first
+//! scrape must still exist and must not have decreased — cumulative
+//! series are monotone across scrapes or the accounting is broken.
+//!
+//! Exit code 0 on success, 1 with a diagnostic on the first violation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("validate_prom: {msg}");
+    ExitCode::FAILURE
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+const KNOWN_KINDS: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+
+struct Sample {
+    name: String,
+    /// The `# TYPE` group this sample resolved to.
+    group: String,
+    kind: String,
+    labels: Labels,
+    value: f64,
+}
+
+impl Sample {
+    /// Stable series identity: name + sorted labels.
+    fn series_key(&self) -> String {
+        let mut labels = self.labels.clone();
+        labels.sort();
+        let rendered: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+        format!("{}{{{}}}", self.name, rendered.join(","))
+    }
+
+    /// Label set with `le` removed — groups one histogram's buckets.
+    fn bucket_group(&self) -> String {
+        let mut labels: Vec<&(String, String)> =
+            self.labels.iter().filter(|(k, _)| k != "le").collect();
+        labels.sort();
+        labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    fn le(&self) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+struct Scrape {
+    samples: Vec<Sample>,
+}
+
+fn parse_value(token: &str) -> Option<f64> {
+    match token {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => token.parse().ok(),
+    }
+}
+
+type Labels = Vec<(String, String)>;
+
+/// Parses `{k="v",...}` starting after the `{`; returns (labels, rest).
+fn parse_labels(s: &str) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        rest = rest.trim_start();
+        if let Some(tail) = rest.strip_prefix('}') {
+            return Ok((labels, tail));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label without `=`".to_string())?;
+        let name = rest[..eq].trim().to_string();
+        if !valid_label_name(&name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let tail = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label {name} value is not quoted"))?;
+        let mut value = String::new();
+        let mut chars = tail.char_indices();
+        let after_quote = loop {
+            let Some((i, c)) = chars.next() else {
+                return Err(format!("unterminated value for label {name}"));
+            };
+            match c {
+                '"' => break &tail[i + 1..],
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "bad escape in label {name}: \\{}",
+                            other.map(|(_, c)| c).unwrap_or(' ')
+                        ))
+                    }
+                },
+                '\n' => return Err(format!("raw newline in label {name} value")),
+                c => value.push(c),
+            }
+        };
+        labels.push((name, value));
+        rest = after_quote.trim_start();
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail;
+        } else if !rest.starts_with('}') {
+            return Err("expected `,` or `}` after label".to_string());
+        }
+    }
+}
+
+/// Histogram sample suffixes that resolve to the base `# TYPE` group.
+const HISTOGRAM_SUFFIXES: [&str; 3] = ["_bucket", "_sum", "_count"];
+
+fn check_file(path: &str) -> Result<Scrape, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("{path} line {}: {msg}", lineno + 1);
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() != Some("TYPE") {
+                continue; // HELP / free comments only need to be comments
+            }
+            let name = parts
+                .next()
+                .ok_or_else(|| at("# TYPE without a metric name".into()))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| at(format!("# TYPE {name} without a kind")))?;
+            if !valid_metric_name(name) {
+                return Err(at(format!("bad metric name {name:?} in # TYPE")));
+            }
+            if !KNOWN_KINDS.contains(&kind) {
+                return Err(at(format!("unknown kind {kind:?} in # TYPE {name}")));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(at(format!("# TYPE {name} declared twice")));
+            }
+            continue;
+        }
+
+        // A sample: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .ok_or_else(|| at("sample line without a value".into()))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(at(format!("bad metric name {name:?}")));
+        }
+        let (labels, rest) = if line[name_end..].starts_with('{') {
+            parse_labels(&line[name_end + 1..]).map_err(|msg| at(format!("{name}: {msg}")))?
+        } else {
+            (Vec::new(), &line[name_end..])
+        };
+        {
+            let mut seen = BTreeSet::new();
+            for (k, _) in &labels {
+                if !seen.insert(k) {
+                    return Err(at(format!("{name}: duplicate label {k:?}")));
+                }
+            }
+        }
+        let mut tokens = rest.split_whitespace();
+        let value_token = tokens
+            .next()
+            .ok_or_else(|| at(format!("{name}: sample without a value")))?;
+        let value = parse_value(value_token)
+            .ok_or_else(|| at(format!("{name}: unparseable value {value_token:?}")))?;
+        if let Some(ts) = tokens.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(at(format!("{name}: bad timestamp {ts:?}")));
+            }
+        }
+        if tokens.next().is_some() {
+            return Err(at(format!("{name}: trailing tokens after value")));
+        }
+
+        // TYPE-before-sample: the declaration must already have passed.
+        let group = if types.contains_key(name) {
+            name.to_string()
+        } else {
+            let base = HISTOGRAM_SUFFIXES
+                .iter()
+                .find_map(|suffix| name.strip_suffix(suffix))
+                .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"));
+            match base {
+                Some(base) => base.to_string(),
+                None => {
+                    return Err(at(format!(
+                        "sample {name} has no preceding # TYPE declaration"
+                    )))
+                }
+            }
+        };
+        let kind = types[&group].clone();
+        if kind == "counter" && !(value.is_finite() && value >= 0.0) {
+            return Err(at(format!(
+                "counter {name} has non-finite or negative value {value_token}"
+            )));
+        }
+        samples.push(Sample {
+            name: name.to_string(),
+            group,
+            kind,
+            labels,
+            value,
+        });
+    }
+
+    check_histograms(path, &types, &samples)?;
+    Ok(Scrape { samples })
+}
+
+/// Buckets cumulative and ending at `+Inf`, `_count` == `+Inf` bucket.
+fn check_histograms(
+    path: &str,
+    types: &BTreeMap<String, String>,
+    samples: &[Sample],
+) -> Result<(), String> {
+    for (base, kind) in types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{base}_bucket");
+        let count_name = format!("{base}_count");
+        // label-set (sans le) -> ordered (le, count) as they appeared
+        let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+        for s in samples {
+            if s.name == bucket_name {
+                let le_raw = s
+                    .le()
+                    .ok_or_else(|| format!("{path}: {bucket_name} sample without `le`"))?;
+                let le = parse_value(le_raw)
+                    .ok_or_else(|| format!("{path}: {bucket_name} bad le {le_raw:?}"))?;
+                groups
+                    .entry(s.bucket_group())
+                    .or_default()
+                    .push((le, s.value));
+            } else if s.name == count_name {
+                counts.insert(s.bucket_group(), s.value);
+            }
+        }
+        for (labels, buckets) in &groups {
+            let mut prev_le = f64::NEG_INFINITY;
+            let mut prev_count = -1.0;
+            for &(le, count) in buckets {
+                if le <= prev_le {
+                    return Err(format!(
+                        "{path}: {bucket_name}{{{labels}}} le bounds not strictly increasing"
+                    ));
+                }
+                if count < prev_count {
+                    return Err(format!(
+                        "{path}: {bucket_name}{{{labels}}} cumulative counts decreased at le={le}"
+                    ));
+                }
+                prev_le = le;
+                prev_count = count;
+            }
+            let Some(&(last_le, last_count)) = buckets.last() else {
+                continue;
+            };
+            if last_le != f64::INFINITY {
+                return Err(format!(
+                    "{path}: {bucket_name}{{{labels}}} does not end at le=\"+Inf\""
+                ));
+            }
+            match counts.get(labels) {
+                Some(&total) if total == last_count => {}
+                Some(&total) => {
+                    return Err(format!(
+                        "{path}: {count_name}{{{labels}}} = {total} but the +Inf bucket \
+                         holds {last_count}"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "{path}: {bucket_name}{{{labels}}} has no matching {count_name}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is this series cumulative (must be monotone across scrapes)?
+fn is_cumulative(s: &Sample) -> bool {
+    s.kind == "counter"
+        || (s.kind == "histogram"
+            && HISTOGRAM_SUFFIXES
+                .iter()
+                .any(|suffix| s.name == format!("{}{suffix}", s.group)))
+}
+
+fn check_monotone(first: &Scrape, second: &Scrape, path2: &str) -> Result<u64, String> {
+    let mut later: BTreeMap<String, f64> = BTreeMap::new();
+    for s in &second.samples {
+        if is_cumulative(s) {
+            later.insert(s.series_key(), s.value);
+        }
+    }
+    let mut checked = 0u64;
+    for s in &first.samples {
+        if !is_cumulative(s) {
+            continue;
+        }
+        let key = s.series_key();
+        match later.get(&key) {
+            Some(&v2) if v2 >= s.value => checked += 1,
+            Some(&v2) => {
+                return Err(format!(
+                    "{path2}: cumulative series {key} went backwards: {} -> {v2}",
+                    s.value
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "{path2}: cumulative series {key} present in the first scrape is gone"
+                ));
+            }
+        }
+    }
+    Ok(checked)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (first, second) = match args.as_slice() {
+        [a] => (a, None),
+        [a, b] => (a, Some(b)),
+        _ => return fail("usage: validate_prom FILE [FILE2]".into()),
+    };
+
+    let scrape1 = match check_file(first) {
+        Ok(s) => s,
+        Err(err) => return fail(err),
+    };
+    let metrics: BTreeSet<&str> = scrape1.samples.iter().map(|s| s.group.as_str()).collect();
+    let mut summary = format!(
+        "{} sample(s) across {} metric(s)",
+        scrape1.samples.len(),
+        metrics.len()
+    );
+
+    if let Some(path2) = second {
+        let scrape2 = match check_file(path2) {
+            Ok(s) => s,
+            Err(err) => return fail(err),
+        };
+        match check_monotone(&scrape1, &scrape2, path2) {
+            Ok(checked) => {
+                summary.push_str(&format!(
+                    ", {checked} cumulative series monotone across 2 scrapes"
+                ));
+            }
+            Err(err) => return fail(err),
+        }
+    }
+
+    println!("validate_prom: OK — {summary}");
+    ExitCode::SUCCESS
+}

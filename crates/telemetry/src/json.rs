@@ -111,6 +111,13 @@ impl Json {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// Any numeric shape as `u64` (floats only when exactly integral).
     pub fn as_u64(&self) -> Option<u64> {
         match *self {

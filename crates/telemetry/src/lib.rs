@@ -27,6 +27,14 @@
 //!   DESIGN.md §5d.
 //! * [`perf`] — the `BENCH_*.json` snapshot schema shared by
 //!   `scripts/bench_snapshot.sh` and the `perf_diff` regression gate.
+//! * [`stream`] — the streaming observability plane (DESIGN.md §5i):
+//!   sliding-window counters/histograms over a rotated bucket ring,
+//!   EWMA smoothers, CUSUM drift detectors, and labeled counter
+//!   families with a hard cardinality cap. The cumulative [`metrics`]
+//!   registry stays the "since process start" layer underneath.
+//! * [`prom`] — Prometheus text exposition over both layers, served by
+//!   `serve` at `GET /metrics?format=prom` and checked by
+//!   `src/bin/validate_prom.rs`.
 //!
 //! Nothing in this crate touches any RNG: instrumentation can never
 //! perturb the workspace's determinism guarantees (only the *timing
@@ -35,12 +43,18 @@
 pub mod json;
 pub mod metrics;
 pub mod perf;
+pub mod prom;
 pub mod sink;
 pub mod span;
+pub mod stream;
 pub mod trace;
 
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, Registry, Snapshot, TIME_BUCKETS};
-pub use sink::JsonlSink;
+pub use sink::{AsyncJsonlSink, JsonlSink};
 pub use span::{Span, Stopwatch};
+pub use stream::{
+    CounterFamily, CusumConfig, DriftDetector, Ewma, StreamRegistry, StreamSnapshot, WindowSpec,
+    WindowedCounter, WindowedHistogram,
+};
 pub use trace::{TraceCollector, TraceSnapshot, TraceSpan};

@@ -515,4 +515,53 @@ mod tests {
         assert_eq!(lat.get("nan_count").and_then(Json::as_u64), Some(0));
         assert_eq!(snap.get("lat").unwrap().quantile(0.5), Some(p50));
     }
+
+    /// Pinned: a quantile target landing in the overflow bucket
+    /// reports the largest *finite* bound — the histogram cannot see
+    /// further, and `+Inf` (or interpolation toward it) would be a
+    /// lie. Both the live instrument and the shared bucket math agree.
+    #[test]
+    fn quantile_in_overflow_bucket_is_clamped_to_last_finite_bound() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 2.0]);
+        // All mass beyond the last finite bound.
+        for v in [5.0, 9.0, 100.0] {
+            h.record(v);
+        }
+        for q in [0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(2.0), "q={q}");
+        }
+        assert_eq!(
+            quantile_from_buckets(&h.buckets(), h.count(), 0.5),
+            Some(2.0)
+        );
+
+        // Mixed mass: only targets that actually land in the overflow
+        // bucket clamp; finite-bucket targets still interpolate.
+        let m = reg.histogram("mixed", &[1.0, 2.0]);
+        for v in [0.5, 1.5, 50.0] {
+            m.record(v);
+        }
+        assert_eq!(m.quantile(1.0), Some(2.0), "overflow target clamps");
+        let p25 = m.quantile(0.25).unwrap();
+        assert!(p25 < 1.0, "finite target still interpolates, got {p25}");
+    }
+
+    /// Pinned: quantile edge cases — `None` on empty histograms and
+    /// out-of-range `q`, never a panic or a fabricated number.
+    #[test]
+    fn quantile_edge_cases_return_none() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram");
+        h.record(0.5);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(quantile_from_buckets(&[], 3, 0.5), None, "no buckets");
+        assert_eq!(
+            MetricValue::Counter(3).quantile(0.5),
+            None,
+            "non-histogram values have no quantiles"
+        );
+    }
 }

@@ -1,0 +1,54 @@
+//! `stream::set_enabled` pins, isolated in their own test binary: the
+//! kill switch is process-global, so flipping it would race any other
+//! test that exercises an `enabled()`-gated record path.
+
+use telemetry::stream;
+use telemetry::{CusumConfig, WindowSpec, WindowedCounter, WindowedHistogram};
+
+#[test]
+fn disabling_the_plane_drops_records_without_panicking() {
+    let counter = WindowedCounter::new(WindowSpec::new(1000, 4));
+    let hist = WindowedHistogram::new(WindowSpec::new(1000, 4), &[1.0]);
+    let family = telemetry::CounterFamily::new("toggle_fam", &["k"], WindowSpec::new(1000, 4), 4);
+    let detector = telemetry::DriftDetector::new(CusumConfig::default());
+
+    assert!(stream::enabled(), "the plane starts enabled");
+    counter.add(1);
+    hist.record(0.5);
+    family.add(&["a"], 1);
+    detector.observe(1.0);
+    assert_eq!(counter.window_secs(4.0).count, 1);
+    assert_eq!(hist.window_secs(4.0).count, 1);
+    assert_eq!(family.series_snapshot().len(), 1);
+    assert_eq!(detector.state().observations, 1);
+
+    stream::set_enabled(false);
+    assert!(!stream::enabled());
+    counter.add(10);
+    hist.record(0.5);
+    family.add(&["a"], 10);
+    family.add(&["b"], 10); // no new series while disabled either
+    detector.observe(2.0);
+
+    assert_eq!(
+        counter.window_secs(4.0).count,
+        1,
+        "disabled add must be a no-op"
+    );
+    assert_eq!(hist.window_secs(4.0).count, 1);
+    let series = family.series_snapshot();
+    assert_eq!(series.len(), 1);
+    assert_eq!(
+        series[0].1, 1,
+        "cumulative family total frozen while disabled"
+    );
+    assert_eq!(detector.state().observations, 1);
+
+    stream::set_enabled(true);
+    counter.add(2);
+    assert_eq!(
+        counter.window_secs(4.0).count,
+        3,
+        "re-enabling resumes recording"
+    );
+}

@@ -9,7 +9,7 @@
 #
 #   scripts/bench_snapshot.sh [OUT.json]
 #
-# OUT defaults to BENCH_PR7.json at the repo root. All workload knobs
+# OUT defaults to BENCH_PR9.json at the repo root. All workload knobs
 # are env-overridable so CI can run a tiny variant into a temp dir:
 #
 #   BENCH_SCALE=0.02 BENCH_STEPS=1 BENCH_EPISODES=4 BENCH_EVAL_USERS=32 \
@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR9.json}"
 scale="${BENCH_SCALE:-0.05}"
 steps="${BENCH_STEPS:-3}"
 episodes="${BENCH_EPISODES:-8}"
@@ -86,6 +86,16 @@ if [ "$out" = "BENCH_PR7.json" ] && [ -f BENCH_PR6.json ]; then
     echo "==> must-improve gate: op/MatMulT/* >= 3x faster"
     ./target/release/perf_diff BENCH_PR6.json "$out" \
         --threshold -0.6667 --only op/MatMulT/
+fi
+
+# PR9 adds the live-metrics plane to the serve hot path; the snapshot
+# must stay inside the general 2x allowance vs the PR7 baseline, and
+# exp_serve itself asserts plane-on vs plane-off read latency within
+# SERVE_PLANE_GATE (the serve/plane_{off,on}_read_p{50,99}_secs metrics
+# recorded above carry the measured pair).
+if [ "$out" = "BENCH_PR9.json" ] && [ -f BENCH_PR7.json ]; then
+    echo "==> perf_diff vs committed BENCH_PR7.json (2x allowance)"
+    ./target/release/perf_diff BENCH_PR7.json "$out" --threshold 1.0
 fi
 
 echo "bench snapshot recorded: $out"

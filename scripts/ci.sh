@@ -15,6 +15,9 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> metric-name lint (README table vs registration calls)"
+scripts/lint_metrics.sh
+
 echo "==> kernel equivalence smoke (blocked/parallel kernels vs naive refs)"
 # The release-mode codegen is what production runs, so the bit-exactness
 # contract (kernel.rs) is re-proven here under --release: blocked and
@@ -119,6 +122,51 @@ cargo run --release -p bench --bin exp_serve -- \
 cargo run --release -p telemetry --bin validate_jsonl -- \
     --access-log "$many_dir/access.jsonl"
 
+echo "==> live-metrics smoke (/metrics scrapes against the real binary)"
+# The serve binary up on a real socket, driven over its stdin protocol:
+# obs_top scrapes /metrics in Prometheus text twice (validate_prom
+# checks exposition well-formedness on each and cumulative-series
+# monotonicity across the pair), once with ?window=5 (the narrowed
+# window must label every windowed series), and once as the JSON
+# table render. A "quit" line then shuts the server down gracefully
+# (exit 0 == nothing dropped) and the access log's drop accounting
+# must balance.
+live_dir="$smoke_dir/live_metrics"
+mkdir -p "$live_dir"
+mkfifo "$live_dir/stdin.fifo"
+./target/release/serve \
+    --dataset steam --scale 0.02 --ranker ItemPop --port 0 \
+    --threads 2 --shards 2 --eval-users 8 \
+    --access-log "$live_dir/access.jsonl" \
+    < "$live_dir/stdin.fifo" > "$live_dir/serve.out" &
+serve_pid=$!
+exec 9> "$live_dir/stdin.fifo" # hold the writer open: EOF means shutdown
+for _ in $(seq 100); do
+    grep -q '"type":"serving"' "$live_dir/serve.out" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' "$live_dir/serve.out" | head -1)"
+test -n "$addr" || { echo "serve bin never announced its address"; exit 1; }
+./target/release/obs_top --addr "$addr" --scrape prom --iters 1 --no-clear \
+    > "$live_dir/scrape1.prom"
+./target/release/obs_top --addr "$addr" --scrape prom --iters 1 --no-clear \
+    > "$live_dir/scrape2.prom"
+cargo run --release -p telemetry --bin validate_prom -- \
+    "$live_dir/scrape1.prom" "$live_dir/scrape2.prom"
+./target/release/obs_top --addr "$addr" --scrape prom --window 5 --iters 1 \
+    --no-clear > "$live_dir/scrape_w5.prom"
+grep -q 'window="5"' "$live_dir/scrape_w5.prom" \
+    || { echo "?window=5 scrape missing narrowed window label"; exit 1; }
+./target/release/obs_top --addr "$addr" --iters 1 --no-clear \
+    > "$live_dir/table.txt"
+grep -q 'windowed histograms' "$live_dir/table.txt" \
+    || { echo "obs_top table render missing windowed histograms"; exit 1; }
+echo quit >&9
+exec 9>&-
+wait "$serve_pid" || { echo "serve bin exited non-zero (dropped requests?)"; exit 1; }
+cargo run --release -p telemetry --bin validate_jsonl -- \
+    --access-log "$live_dir/access.jsonl"
+
 echo "==> attack zoo smoke (tiny grid, one cell per family, local + wire)"
 # exp_zoo drives every registered attack family through the shared
 # run_attack lifecycle on one tiny cell each — in-process AND through
@@ -171,6 +219,18 @@ if [ -f BENCH_PR6.json ] && [ -f BENCH_PR7.json ]; then
         BENCH_PR6.json BENCH_PR7.json --threshold -0.35 --only step/update_secs_median
     cargo run --release -p telemetry --bin perf_diff -- \
         BENCH_PR6.json BENCH_PR7.json --threshold -0.6667 --only op/MatMulT/
+fi
+
+echo "==> committed-snapshot gate (PR9 metrics plane vs PR7 baseline)"
+# The live-metrics plane rides the serve hot path; the committed
+# BENCH_PR9.json (same workload as BENCH_PR7.json, plane enabled) must
+# hold every wire-path latency inside the general 2x allowance.
+# exp_serve additionally asserts plane-on vs plane-off p50/p99 within
+# SERVE_PLANE_GATE when it records the snapshot; the measured pair is
+# carried in serve/plane_{off,on}_read_p{50,99}_secs.
+if [ -f BENCH_PR7.json ] && [ -f BENCH_PR9.json ]; then
+    cargo run --release -p telemetry --bin perf_diff -- \
+        BENCH_PR7.json BENCH_PR9.json --threshold 1.0
 fi
 
 echo "CI green."

@@ -156,6 +156,95 @@ fn graceful_shutdown_completes_inflight_requests_under_load() {
     assert!(stats.completed >= completed.load(Ordering::Relaxed));
 }
 
+/// The live-metrics plane over the wire plus access-log drop
+/// accounting: `/metrics` answers both JSON and Prometheus exposition
+/// (with window narrowing), and after a graceful shutdown the access
+/// log ends in an `access-summary` line whose ledger balances — every
+/// request the server completed is either a line in the file or
+/// explicitly counted as dropped.
+#[test]
+fn metrics_scrapes_and_access_log_accounting_balance() {
+    use telemetry::json::{self, Json};
+
+    let log_path = std::env::temp_dir().join(format!(
+        "serve-access-accounting-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&log_path);
+    let (server, addr) = start_server(ServerConfig {
+        threads: 2,
+        shards: 2,
+        access_log: Some(log_path.clone()),
+        ..ServerConfig::default()
+    });
+
+    let mut client = HttpClient::new(addr.clone());
+    for i in 0..20u32 {
+        let (status, _) = client
+            .request("GET", &format!("/recommend/{}?k=5", i % 7), None)
+            .expect("recommend");
+        assert_eq!(status, 200);
+    }
+    // One parse-error request: logged with method "?" but outside the
+    // completed-request ledger the summary balances.
+    let (status, _) = client.request("BOGUS", "/healthz", None).expect("bad verb");
+    assert_eq!(status, 405);
+
+    // Prom scrape: typed exposition carrying the labeled request family.
+    let (status, prom) = client
+        .request_text("GET", "/metrics?format=prom&window=10", None)
+        .expect("prom scrape");
+    assert_eq!(status, 200);
+    assert!(prom.contains("# TYPE serve_requests_total counter"));
+    assert!(prom.contains("route=\"recommend\""));
+    assert!(prom.contains("serve_request_secs_window_count{window=\"10\"}"));
+
+    // JSON scrape: cumulative layer plus the streaming plane.
+    let (status, doc) = client
+        .request("GET", "/metrics", None)
+        .expect("json scrape");
+    assert_eq!(status, 200);
+    assert!(doc
+        .get("stream")
+        .and_then(|s| s.get("histograms"))
+        .is_some());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.dropped(), 0);
+
+    // Replay the file: summary must be the last line and must balance.
+    let text = std::fs::read_to_string(&log_path).expect("access log written");
+    let lines: Vec<&str> = text.lines().collect();
+    let summary = json::parse(lines.last().expect("non-empty log")).expect("summary parses");
+    assert_eq!(
+        summary.get("type").and_then(Json::as_str),
+        Some("access-summary"),
+        "last line must be the accounting summary"
+    );
+    let counted = lines
+        .iter()
+        .filter_map(|l| json::parse(l).ok())
+        .filter(|v| {
+            v.get("type").and_then(Json::as_str) == Some("access")
+                && v.get("method").and_then(Json::as_str) != Some("?")
+        })
+        .count() as u64;
+    let events = summary.get("events").and_then(Json::as_u64).unwrap();
+    let dropped = summary.get("dropped").and_then(Json::as_u64).unwrap();
+    let completed = summary.get("completed").and_then(Json::as_u64).unwrap();
+    assert_eq!(events, counted, "summary events == ledger lines in file");
+    assert_eq!(
+        events + dropped,
+        completed,
+        "every completed request is in the file or counted as dropped"
+    );
+    assert_eq!(
+        completed, stats.completed,
+        "summary matches the server ledger"
+    );
+    let _ = std::fs::remove_file(&log_path);
+}
+
 /// A handler panic injected via `runtime::FaultPlan` is contained: the
 /// faulted request gets a 500, the connection stays sane, and the
 /// server keeps serving 200s afterwards. Both byte-moving drivers run
