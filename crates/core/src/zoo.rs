@@ -25,10 +25,11 @@
 //! fingerprint covers the attack name, the full budget, and the target
 //! system's configuration and geometry — resuming a checkpoint against
 //! a different cell is refused with a typed error. The body carries
-//! the guard's usage ledger, the step history, and the attack's own
-//! [`Attack::state_bytes`] blob, so a resumed run continues
-//! **bit-identically** (pinned per family by
-//! `tests/attack_conformance.rs`).
+//! the guard's usage ledger, the step history, the attack's own
+//! [`Attack::state_bytes`] blob, and the victim's serialized defense
+//! state (adaptive defenses calibrate online), so a resumed run
+//! continues **bit-identically** (pinned per family by
+//! `tests/attack_conformance.rs` and `tests/defense_conformance.rs`).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -146,6 +147,11 @@ struct ZooState {
     usage: UsageSnapshot,
     history: Vec<AttackStepStats>,
     attack_state: Vec<u8>,
+    /// The victim's serialized defense state (empty when undefended):
+    /// an adaptive defense calibrates *online*, so resuming without it
+    /// would replay the attack against a softer victim than the
+    /// interrupted run faced.
+    defense_state: Vec<u8>,
 }
 
 impl Codec for ZooState {
@@ -163,6 +169,10 @@ impl Codec for ZooState {
         }
         w.put_u64(self.attack_state.len() as u64);
         for &b in &self.attack_state {
+            w.put_u8(b);
+        }
+        w.put_u64(self.defense_state.len() as u64);
+        for &b in &self.defense_state {
             w.put_u8(b);
         }
     }
@@ -187,6 +197,11 @@ impl Codec for ZooState {
         for _ in 0..len {
             attack_state.push(r.get_u8("attack state byte")?);
         }
+        let len = r.get_len(1, "defense state length")?;
+        let mut defense_state = Vec::with_capacity(len);
+        for _ in 0..len {
+            defense_state.push(r.get_u8("defense state byte")?);
+        }
         Ok(Self {
             attack,
             steps_done,
@@ -194,6 +209,7 @@ impl Codec for ZooState {
             usage,
             history,
             attack_state,
+            defense_state,
         })
     }
 }
@@ -216,6 +232,7 @@ fn save_zoo_checkpoint(
         usage: guard.usage(),
         history: history.to_vec(),
         attack_state: attack.state_bytes(),
+        defense_state: guard.defense_state(),
     };
     let sealed = checkpoint::seal(fingerprint, &state.to_bytes());
     checkpoint::atomic_write(path, &sealed).map_err(|e| state_err("checkpoint write failed", e))?;
@@ -289,6 +306,7 @@ pub fn run_attack(
                 )));
             }
             system.restore_observations_spent(state.system_spent)?;
+            system.restore_defense_state(&state.defense_state)?;
             guard.restore_usage(state.usage);
             attack.restore_state(&state.attack_state, &guard)?;
             if attack.steps_done() as u64 != state.steps_done {

@@ -422,6 +422,14 @@ impl ObservableSystem for GuardedSystem<'_> {
     fn caps(&self) -> SystemCaps {
         self.inner.caps()
     }
+
+    fn defense_state(&self) -> Vec<u8> {
+        self.inner.defense_state()
+    }
+
+    fn restore_defense_state(&self, state: &[u8]) -> Result<(), ConfigError> {
+        self.inner.restore_defense_state(state)
+    }
 }
 
 /// Per-step report every attack returns from [`Attack::step`] — the

@@ -13,9 +13,12 @@
 //!   *RecNum* page-view metric.
 //! * [`system`] — [`system::BlackBoxSystem`], the attack surface:
 //!   inject fake trajectories, observe RecNum, learn nothing else.
-//! * [`defense`] — extension: fake-account detectors (popularity
-//!   deviation, repetition), the defended observation path, and the
-//!   serving layer's calibrated [`defense::OnlineFilter`].
+//! * [`defense`] — the layered online defense subsystem: anomaly
+//!   detectors (popularity deviation, repetition, k-NN LOF), the
+//!   calibrated [`defense::DefenseStack`] (token bucket, reputation,
+//!   adaptive threshold ladder) judging every incoming trajectory,
+//!   and [`defense::DefendedSystem`], the hardened victim the attack
+//!   zoo is evaluated against (DESIGN.md §5j).
 //! * [`snapshot`] — [`snapshot::RankerSnapshot`], the generation-tagged
 //!   immutable read path a served retrain publishes (DESIGN.md §5e).
 //! * [`remote`] — [`remote::RemoteSystem`], the same
@@ -59,6 +62,9 @@ pub use attack::{
     BudgetViolation, GuardedSystem, SystemCaps, UsageSnapshot,
 };
 pub use data::{Dataset, ItemId, LogView, Trajectory, UserId};
+pub use defense::{
+    DefendedSystem, DefenseKind, DefenseStack, LofDetector, OnlineFilter, Verdict, VerdictCounts,
+};
 pub use rankers::{Ranker, RankerKind, UnknownRanker};
 pub use remote::{RemoteError, RemoteSystem};
 pub use snapshot::RankerSnapshot;

@@ -77,6 +77,28 @@ pub trait ObservableSystem: Send + Sync {
     fn caps(&self) -> crate::attack::SystemCaps {
         crate::attack::SystemCaps::default()
     }
+
+    /// Serialized state of the victim's online defense, if it has one
+    /// (empty for undefended systems). Captured into sealed
+    /// checkpoints so a resumed run's defense continues from the exact
+    /// calibration the interrupted run had reached.
+    fn defense_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by
+    /// [`ObservableSystem::defense_state`]. An undefended system
+    /// accepts only the empty state it emits.
+    fn restore_defense_state(&self, state: &[u8]) -> Result<(), ConfigError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(ConfigError {
+                field: "defense_state",
+                message: "this system has no defense layer to restore into".into(),
+            })
+        }
+    }
 }
 
 /// A configuration value failed validation at construction time.

@@ -46,7 +46,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use recsys::data::Trajectory;
-use recsys::defense::OnlineFilter;
+use recsys::defense::{DefenseStack, Verdict, VerdictCounts};
 use recsys::shard::shard_for_user;
 use recsys::snapshot::RankerSnapshot;
 use recsys::system::BlackBoxSystem;
@@ -218,6 +218,34 @@ pub struct AppResponse {
     /// The shard whose snapshot cell served the response (0 for
     /// routes that are not per-user).
     pub shard: u64,
+    /// Admission outcome of a judged `POST /feedback` (None for every
+    /// other route and for feedback rejected before judging). Carried
+    /// into the access log so defense decisions are auditable offline.
+    pub feedback: Option<FeedbackOutcome>,
+}
+
+/// What the admission section decided about one feedback request,
+/// snapshot under the admission lock (so `pending` and
+/// `pending_before` bracket exactly this request's effect, even under
+/// concurrent clients).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FeedbackOutcome {
+    /// Dominant verdict label: `"admit"` when everything offered was
+    /// admitted, otherwise the most frequent rejection verdict
+    /// (severity order `flag` > `rate_limit` > `throttle` on ties).
+    pub verdict: &'static str,
+    /// Judging detector (`"none"` when the server runs undefended).
+    pub detector: &'static str,
+    /// Trajectories offered in the request body.
+    pub offered: u64,
+    /// Trajectories actually enqueued (0 on a 409).
+    pub accepted: u64,
+    /// Total queued feedback across shards before this request.
+    pub pending_before: u64,
+    /// Total queued feedback across shards after this request; always
+    /// `pending_before + accepted` — rejected feedback never
+    /// increments a queue.
+    pub pending: u64,
 }
 
 impl AppResponse {
@@ -229,6 +257,7 @@ impl AppResponse {
             content_type: "application/json",
             generation,
             shard,
+            feedback: None,
         }
     }
 
@@ -240,6 +269,7 @@ impl AppResponse {
             content_type,
             generation,
             shard: 0,
+            feedback: None,
         }
     }
 
@@ -251,6 +281,7 @@ impl AppResponse {
             content_type: "application/json",
             generation,
             shard: 0,
+            feedback: None,
         }
     }
 
@@ -262,6 +293,23 @@ impl AppResponse {
             None => self.body.render(),
         }
     }
+}
+
+/// The access-log label for a judged feedback request: `"admit"` when
+/// nothing was rejected, otherwise the most frequent rejection verdict
+/// (ties break by severity: flag, then rate_limit, then throttle).
+fn dominant_verdict(tally: &VerdictCounts) -> &'static str {
+    let mut best = (0u64, Verdict::Admit);
+    for (count, verdict) in [
+        (tally.flagged, Verdict::Flag),
+        (tally.rate_limited, Verdict::RateLimit),
+        (tally.throttled, Verdict::Throttle),
+    ] {
+        if count > best.0 {
+            best = (count, verdict);
+        }
+    }
+    best.1.label()
 }
 
 /// One admitted trajectory, tagged with its global arrival sequence so
@@ -292,8 +340,12 @@ pub struct RecApp {
     /// Serializes retrains: each consumes one seed ordinal, so their
     /// order must be total even under concurrent `POST /retrain`.
     retrain: Mutex<()>,
-    /// Optional online injection filter consulted per trajectory.
-    defense: Option<OnlineFilter>,
+    /// Optional layered online defense judging every trajectory at
+    /// admission. Judged **under the admission lock** so the stack's
+    /// state transitions follow the global admission order — the
+    /// invariant that keeps a defended wire run bit-identical to the
+    /// in-process [`recsys::defense::DefendedSystem`] path.
+    defense: Option<Mutex<DefenseStack>>,
     flagged_total: AtomicU64,
     /// Per-item popularity (catalog order), frozen at construction —
     /// the reference the popularity drift detector scores against.
@@ -309,9 +361,11 @@ pub struct RecApp {
 
 impl RecApp {
     /// Wraps a fitted system, publishing its clean generation-0
-    /// snapshot into a single shard. `defense` rejects flagged
-    /// feedback at ingestion. Use [`RecApp::reshard`] to spread state.
-    pub fn new(system: BlackBoxSystem, defense: Option<OnlineFilter>) -> Self {
+    /// snapshot into a single shard. `defense` judges every incoming
+    /// trajectory at admission (an [`recsys::defense::OnlineFilter`]
+    /// converts into a detector-only stack via `Into`). Use
+    /// [`RecApp::reshard`] to spread state.
+    pub fn new(system: BlackBoxSystem, defense: Option<DefenseStack>) -> Self {
         let snapshot = std::sync::Arc::new(system.clean_snapshot());
         let popularity: Vec<f64> = system
             .public_info()
@@ -328,7 +382,7 @@ impl RecApp {
                 held: 0,
             }),
             retrain: Mutex::new(()),
-            defense,
+            defense: defense.map(Mutex::new),
             flagged_total: AtomicU64::new(0),
             popularity,
             pop_drift: telemetry::stream::detector(
@@ -378,6 +432,15 @@ impl RecApp {
     /// The wrapped system (tests compare against its in-process path).
     pub fn system(&self) -> &BlackBoxSystem {
         &self.system
+    }
+
+    /// Verdict tally of the embedded defense stack (zeros when
+    /// undefended). Wire-side experiments read detection
+    /// precision/recall off this ledger.
+    pub fn defense_counts(&self) -> VerdictCounts {
+        self.defense
+            .as_ref()
+            .map_or_else(VerdictCounts::default, |d| d.lock().unwrap().counts())
     }
 
     /// Routes one parsed request: [`Route::parse`] then
@@ -482,10 +545,17 @@ impl RecApp {
             .field(
                 "defense",
                 match &self.defense {
-                    Some(filter) => Json::obj()
-                        .field("detector", filter.detector_name())
-                        .field("fpr", filter.fpr())
-                        .field("threshold", filter.threshold()),
+                    Some(stack) => {
+                        let stack = stack.lock().unwrap();
+                        Json::obj()
+                            .field("detector", stack.detector_name())
+                            .field("kind", stack.kind_label())
+                            .field("fpr", stack.fpr())
+                            .field("threshold", stack.threshold())
+                            .field("level", stack.level())
+                            .field("reputation", stack.reputation())
+                            .field("alarms", stack.alarms())
+                    }
                     None => Json::Null,
                 },
             );
@@ -564,35 +634,60 @@ impl RecApp {
         // wire replay stays bit-identical to the in-process path.
         self.observe_feedback_stream(&parsed);
 
-        // Online defense: score each trajectory against the frozen
-        // threshold; flagged ones are dropped at the door.
-        let mut admitted = Vec::with_capacity(parsed.len());
-        let mut flagged = 0u64;
-        for traj in parsed {
-            let admit = self
-                .defense
-                .as_ref()
-                .is_none_or(|f| f.admits(self.system.base(), &traj));
-            if admit {
-                admitted.push(traj);
-            } else {
-                flagged += 1;
-            }
-        }
-        self.flagged_total.fetch_add(flagged, Ordering::Relaxed);
-        if flagged > 0 {
-            telemetry::metrics::counter("serve_feedback_flagged_total").add(flagged);
-        }
-
-        // One brief admission section: budget check, sequence
-        // assignment, and the queue pushes — so a 409 means nothing
-        // was admitted, and sequences are dense in admission order.
+        // One admission section: defense verdicts, budget check,
+        // sequence assignment, and the queue pushes. Judging happens
+        // *under the lock* because every verdict advances the defense
+        // stack's state — the global admission order must be the
+        // judging order for wire runs to stay bit-identical to the
+        // in-process defended path. A 409 rolls the stack back to its
+        // pre-request state, so a refused request judges nothing.
         let budget = u64::from(self.system.config().reserve_attackers);
         let n = self.pending.len() as u64;
+        let offered = parsed.len() as u64;
         let mut admission = self.admission.lock().unwrap();
+        let pending_before = admission.held;
+        let mut stack = self.defense.as_ref().map(|d| d.lock().unwrap());
+        let rollback = stack.as_ref().map(|s| s.state_bytes());
+        let detector = stack.as_ref().map_or("none", |s| s.detector_name());
+        let before = stack
+            .as_ref()
+            .map_or(VerdictCounts::default(), |s| s.counts());
+
+        let mut admitted: Vec<Trajectory> = Vec::with_capacity(parsed.len());
+        // (verdict, prospective shard) per trajectory, committed to the
+        // metrics plane only if the whole request is admitted.
+        let mut judged: Vec<(Verdict, u64)> = Vec::with_capacity(parsed.len());
+        for traj in parsed {
+            let verdict = match stack.as_deref_mut() {
+                None => Verdict::Admit,
+                Some(stack) => stack.judge(self.system.base(), &traj),
+            };
+            let slot = (admission.next_seq + admitted.len() as u64) % n;
+            judged.push((verdict, slot));
+            if verdict == Verdict::Admit {
+                admitted.push(traj);
+            }
+        }
+        let tally = {
+            let after = stack
+                .as_ref()
+                .map_or(VerdictCounts::default(), |s| s.counts());
+            VerdictCounts {
+                admitted: after.admitted - before.admitted,
+                flagged: after.flagged - before.flagged,
+                rate_limited: after.rate_limited - before.rate_limited,
+                throttled: after.throttled - before.throttled,
+            }
+        };
         let would_hold = admission.held + admitted.len() as u64;
         if would_hold > budget {
-            return AppResponse::error(
+            if let (Some(stack), Some(rollback)) = (stack.as_deref_mut(), rollback.as_deref()) {
+                stack
+                    .restore_state(rollback)
+                    .expect("own state bytes round-trip");
+            }
+            drop(stack);
+            let mut refused = AppResponse::error(
                 409,
                 format!(
                     "attacker budget exhausted: {} pending + {} new > {budget} reserved",
@@ -601,7 +696,17 @@ impl RecApp {
                 ),
                 generation,
             );
+            refused.feedback = Some(FeedbackOutcome {
+                verdict: dominant_verdict(&tally),
+                detector,
+                offered,
+                accepted: 0,
+                pending_before,
+                pending: pending_before,
+            });
+            return refused;
         }
+        drop(stack);
         let accepted = admitted.len() as u64;
         for traj in admitted {
             let seq = admission.next_seq;
@@ -614,14 +719,42 @@ impl RecApp {
         admission.held = would_hold;
         let held = admission.held;
         drop(admission);
-        AppResponse::ok(
+
+        // Metrics are a pure side channel, so they commit after the
+        // admission section: a rolled-back 409 leaves no trace, and
+        // the exported verdict counts always match the stack's ledger.
+        let verdicts = telemetry::stream::counter_family(
+            "serve_feedback_verdicts",
+            &["detector", "verdict", "shard"],
+        );
+        for (verdict, slot) in &judged {
+            verdicts.add(&[detector, verdict.label(), &slot.to_string()], 1);
+        }
+        self.flagged_total
+            .fetch_add(tally.flagged, Ordering::Relaxed);
+        if tally.flagged > 0 {
+            telemetry::metrics::counter("serve_feedback_flagged_total").add(tally.flagged);
+        }
+
+        let mut resp = AppResponse::ok(
             Json::obj()
                 .field("accepted", accepted)
-                .field("flagged", flagged)
+                .field("flagged", tally.flagged)
+                .field("rate_limited", tally.rate_limited)
+                .field("throttled", tally.throttled)
                 .field("pending", held),
             generation,
             0,
-        )
+        );
+        resp.feedback = Some(FeedbackOutcome {
+            verdict: dominant_verdict(&tally),
+            detector,
+            offered,
+            accepted,
+            pending_before,
+            pending: held,
+        });
+        resp
     }
 
     /// Feeds the feedback drift detectors and the windowed ingest
@@ -1073,8 +1206,11 @@ mod tests {
             .map(|u| (0..8).map(|t| (u + t * 3) % 40).collect())
             .collect();
         let data = Dataset::from_histories("d", histories, 200, 8);
-        let filter =
-            OnlineFilter::calibrate(Box::new(recsys::defense::RepetitionDetector), &data, 0.05);
+        let filter = recsys::defense::OnlineFilter::calibrate(
+            Box::new(recsys::defense::RepetitionDetector),
+            &data,
+            0.05,
+        );
         let system = BlackBoxSystem::build(
             data,
             Box::new(ItemPop::new()),
@@ -1084,7 +1220,7 @@ mod tests {
                 ..SystemConfig::default()
             },
         );
-        let app = RecApp::new(system, Some(filter));
+        let app = RecApp::new(system, Some(filter.into()));
         // A blatant burst is flagged; an organic-looking one passes.
         let resp = request(
             &app,

@@ -19,7 +19,9 @@ use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use recsys::defense::{OnlineFilter, PopularityDeviationDetector, RepetitionDetector};
+use recsys::defense::{
+    DefenseKind, DefenseStack, OnlineFilter, PopularityDeviationDetector, RepetitionDetector,
+};
 use recsys::rankers::RankerKind;
 use recsys::system::{BlackBoxSystem, SystemConfig};
 use serve::{RecApp, Server, ServerConfig};
@@ -70,7 +72,8 @@ fn usage() -> ! {
         "usage: serve [--dataset NAME] [--scale F] [--seed N] [--ranker NAME]\n\
          \x20            [--eval-users N] [--reserve-attackers N] [--port N] [--threads N]\n\
          \x20            [--shards N] [--max-conns N] [--driver event|blocking]\n\
-         \x20            [--access-log FILE] [--defense popularity|repetition] [--defense-fpr F]\n\
+         \x20            [--access-log FILE] [--defense-fpr F]\n\
+         \x20            [--defense lof|reputation|adaptive|full|popularity|repetition]\n\
          \x20            [--fault-ordinals a,b,c]\n\
          serves until stdin reaches EOF (or a `quit` line), then drains and exits"
     );
@@ -155,19 +158,35 @@ fn main() -> ExitCode {
     let data = args.dataset.generate_scaled(args.scale, args.seed);
     let view = recsys::data::LogView::clean(&data);
     let ranker = args.ranker.build(&view, args.reserve_attackers);
-    let defense = args.defense.as_deref().map(|name| match name {
+    // The layered kinds (lof/reputation/adaptive/full) build the full
+    // DefenseStack; the legacy single-detector filters stay available
+    // as detector-only stacks.
+    let defense: Option<DefenseStack> = args.defense.as_deref().map(|name| match name {
         "popularity" => OnlineFilter::calibrate(
             Box::new(PopularityDeviationDetector::default()),
             &data,
             args.defense_fpr,
-        ),
+        )
+        .into(),
         "repetition" => {
-            OnlineFilter::calibrate(Box::new(RepetitionDetector), &data, args.defense_fpr)
+            OnlineFilter::calibrate(Box::new(RepetitionDetector), &data, args.defense_fpr).into()
         }
-        other => {
-            eprintln!("unknown defense {other:?} (expected popularity|repetition)");
-            std::process::exit(2);
-        }
+        other => match DefenseKind::parse(other) {
+            Some(kind) => match DefenseStack::build(kind, &data, args.defense_fpr) {
+                Some(stack) => stack,
+                None => {
+                    eprintln!("--defense none is the default; omit the flag instead");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!(
+                    "unknown defense {other:?} \
+                     (expected lof|reputation|adaptive|full|popularity|repetition)"
+                );
+                std::process::exit(2);
+            }
+        },
     });
     let system = BlackBoxSystem::build(
         data,

@@ -65,7 +65,7 @@ use recsys::system::ConfigError;
 use telemetry::json::Json;
 use telemetry::AsyncJsonlSink;
 
-pub use app::{AppResponse, MetricsFormat, RecApp, Route, RouteError};
+pub use app::{AppResponse, FeedbackOutcome, MetricsFormat, RecApp, Route, RouteError};
 pub use conn::{Connection, FeedOutcome, Inbound};
 pub use http::{HttpError, Limits, Request, RequestParser};
 pub use poll::{raise_nofile, Interest, Poller, Waker};
@@ -325,6 +325,7 @@ impl Shared {
                     content_type: "application/json",
                     generation: self.app.generation(),
                     shard: 0,
+                    feedback: None,
                 },
             }
         }));
@@ -337,6 +338,7 @@ impl Shared {
                 content_type: "application/json",
                 generation: self.app.generation(),
                 shard: 0,
+                feedback: None,
             }
         });
         if resp.status >= 500 {
@@ -368,6 +370,13 @@ impl Shared {
 /// outside the accepted/completed ledger) — in the drop-accounting
 /// summary `validate_jsonl --access-log` checks:
 /// `events + dropped == completed`.
+///
+/// Judged `POST /feedback` requests additionally carry the defense
+/// verdict (`verdict`/`detector`/`offered`/`accepted`/
+/// `pending_before`/`pending`), making every admission decision
+/// auditable offline: `validate_jsonl --access-log` checks the verdict
+/// vocabulary and that `pending == pending_before + accepted` — i.e.
+/// rejected feedback never increments queue depth.
 #[allow(clippy::too_many_arguments)]
 fn log_access(
     shared: &Shared,
@@ -379,24 +388,33 @@ fn log_access(
     shard: u64,
     micros: u64,
     lag_micros: u64,
+    feedback: Option<FeedbackOutcome>,
 ) {
     let Some(log) = &shared.log else {
         return;
     };
     let counted = method != "?";
-    let emitted = log.emit(
-        Json::obj()
-            .field("type", "access")
-            .field("conn", conn)
-            .field("method", method.to_string())
-            .field("path", path.to_string())
-            .field("status", u64::from(status))
-            .field("generation", generation)
-            .field("shard", shard)
-            .field("micros", micros)
-            .field("lag_micros", lag_micros)
-            .field("ts_micros", shared.started.elapsed().as_micros() as u64),
-    );
+    let mut event = Json::obj()
+        .field("type", "access")
+        .field("conn", conn)
+        .field("method", method.to_string())
+        .field("path", path.to_string())
+        .field("status", u64::from(status))
+        .field("generation", generation)
+        .field("shard", shard)
+        .field("micros", micros)
+        .field("lag_micros", lag_micros)
+        .field("ts_micros", shared.started.elapsed().as_micros() as u64);
+    if let Some(fb) = feedback {
+        event = event
+            .field("verdict", fb.verdict)
+            .field("detector", fb.detector)
+            .field("offered", fb.offered)
+            .field("accepted", fb.accepted)
+            .field("pending_before", fb.pending_before)
+            .field("pending", fb.pending);
+    }
+    let emitted = log.emit(event);
     if emitted {
         if counted {
             shared.access_events.fetch_add(1, Ordering::Relaxed);
@@ -537,6 +555,13 @@ impl Server {
         self.driver
     }
 
+    /// The app behind this server. Wire-side experiments read the
+    /// defense verdict ledger off it after driving traffic through
+    /// the socket.
+    pub fn app(&self) -> &RecApp {
+        &self.shared.app
+    }
+
     /// Connections currently registered with the driver. Benchmarks
     /// use this to wait out a teardown storm after dropping a client
     /// fleet before taking latency measurements.
@@ -620,6 +645,7 @@ struct Completion {
     path: String,
     micros: u64,
     lag_micros: u64,
+    feedback: Option<FeedbackOutcome>,
 }
 
 struct ConnEntry {
@@ -838,6 +864,7 @@ impl EventLoop {
                     0,
                     0,
                     0,
+                    None,
                 );
                 return;
             }
@@ -872,6 +899,7 @@ impl EventLoop {
                     resp.shard,
                     micros,
                     lag_micros,
+                    resp.feedback,
                 );
                 continue; // next pipelined request
             }
@@ -894,6 +922,7 @@ impl EventLoop {
                         path: req.path,
                         micros: timer.elapsed().as_micros() as u64,
                         lag_micros,
+                        feedback: resp.feedback,
                     });
                 },
                 waker,
@@ -924,6 +953,7 @@ impl EventLoop {
                 done.shard,
                 done.micros,
                 done.lag_micros,
+                done.feedback,
             );
             let token = done.token;
             self.service_conn(token);
@@ -1095,6 +1125,7 @@ fn handle_connection_blocking(stream: TcpStream, shared: &Shared, conn: u64) {
                     0,
                     0,
                     0,
+                    None,
                 );
                 break;
             }
@@ -1124,6 +1155,7 @@ fn handle_connection_blocking(stream: TcpStream, shared: &Shared, conn: u64) {
                 resp.shard,
                 micros,
                 lag_micros,
+                resp.feedback,
             );
         }
 

@@ -42,7 +42,21 @@
 //!   are outside the ledger), and `events + dropped` equals the
 //!   server's `completed`-request ledger — every completed request is
 //!   either in the file or counted as dropped. Like `--trace`, it may
-//!   be used alone.
+//!   be used alone. Judged feedback events (those carrying a `verdict`
+//!   field) are additionally checked: the verdict must be in the
+//!   defense vocabulary (`admit`/`flag`/`rate_limit`/`throttle`), a
+//!   `detector` string must name the judge, and the queue-depth
+//!   bracket must balance — `pending == pending_before + accepted`
+//!   with `accepted <= offered`, i.e. rejected feedback never
+//!   increments queue depth;
+//! * with `--defense`, the run log is a defense-matrix log
+//!   (`exp_defense`) instead: after the manifest, every cell (`attack`
+//!   × `defense` × `ranker` × `transport` labels) must log exactly one
+//!   `defense_cell` summary whose verdict counts balance against the
+//!   stack's ledger (`admitted + flagged + rate_limited + throttled ==
+//!   offered`), whose `precision` / `recall` / `organic_fpr` are
+//!   finite and inside `[0, 1]`, and whose undefended cells
+//!   (`defense == "none"`) reject nothing.
 //!
 //! Exit code 0 on success, 1 with a diagnostic on the first violation.
 
@@ -75,6 +89,8 @@ fn check_trace(path: &str) -> Result<String, String> {
 
 const KNOWN_METHODS: [&str; 5] = ["GET", "POST", "PUT", "DELETE", "?"];
 const KNOWN_STATUSES: [u64; 7] = [200, 400, 404, 405, 409, 413, 500];
+/// The defense admission vocabulary (`recsys::defense::Verdict`).
+const KNOWN_VERDICTS: [&str; 4] = ["admit", "flag", "rate_limit", "throttle"];
 
 /// Validates a serve access log; returns a summary line.
 fn check_access_log(path: &str) -> Result<String, String> {
@@ -102,6 +118,7 @@ fn check_access_log(path: &str) -> Result<String, String> {
     let mut max_generation = 0u64;
     let mut events = 0u64;
     let mut counted = 0u64;
+    let mut judged = 0u64;
     let mut summary: Option<(u64, u64, u64)> = None;
     for (lineno, line) in lines {
         let at = |msg: String| format!("{path} line {}: {msg}", lineno + 1);
@@ -192,6 +209,37 @@ fn check_access_log(path: &str) -> Result<String, String> {
             }
         }
         last_ts.insert(conn, ts);
+        // Judged feedback: the admission verdict rides along. The
+        // queue-depth bracket is snapshot under the admission lock, so
+        // it is locally checkable even under concurrent clients —
+        // rejected feedback must never increment queue depth.
+        if let Some(verdict) = value.get("verdict") {
+            judged += 1;
+            let verdict = verdict
+                .as_str()
+                .ok_or_else(|| at("`verdict` is not a string".into()))?;
+            if !KNOWN_VERDICTS.contains(&verdict) {
+                return Err(at(format!(
+                    "verdict {verdict:?} outside the defense vocabulary {KNOWN_VERDICTS:?}"
+                )));
+            }
+            if value.get("detector").and_then(Json::as_str).is_none() {
+                return Err(at("judged feedback event without `detector`".into()));
+            }
+            let offered = field("offered")?;
+            let accepted = field("accepted")?;
+            let pending_before = field("pending_before")?;
+            let pending = field("pending")?;
+            if accepted > offered {
+                return Err(at(format!("accepted {accepted} exceeds offered {offered}")));
+            }
+            if pending != pending_before + accepted {
+                return Err(at(format!(
+                    "queue depth does not bracket the admission: pending {pending} != \
+                     pending_before {pending_before} + accepted {accepted}"
+                )));
+            }
+        }
     }
     // Drop accounting: every request the server completed must be in
     // the file or explicitly counted as dropped by the summary.
@@ -214,7 +262,7 @@ fn check_access_log(path: &str) -> Result<String, String> {
     }
     Ok(format!(
         "access log OK — {events} request(s) on {} connection(s), {} shard(s), \
-         {} generation(s), {sum_dropped} dropped of {sum_completed} completed",
+         {} generation(s), {judged} judged, {sum_dropped} dropped of {sum_completed} completed",
         last_ts.len(),
         shards_seen.len().max(1),
         max_generation + 1
@@ -380,8 +428,102 @@ fn check_zoo_log(path: &str) -> Result<(usize, String), String> {
     ))
 }
 
+/// Validates an `exp_defense` matrix log; returns (cells, summary).
+///
+/// Every cell (`attack` × `defense` × `ranker` × `transport`) must
+/// summarize exactly once, its verdict counts must balance against the
+/// stack's ledger, and its detection-quality fields must be sane
+/// probabilities. Undefended cells must reject nothing — a nonzero
+/// rejection count under `defense == "none"` means verdicts leaked
+/// from another cell's stack.
+fn check_defense_log(path: &str) -> Result<(usize, String), String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let mut lines = text.lines().enumerate();
+    let Some((_, first)) = lines.next() else {
+        return Err(format!("{path} is empty"));
+    };
+    let manifest = json::parse(first).map_err(|err| format!("{path} line 1: {err}"))?;
+    if manifest.get("type").and_then(Json::as_str) != Some("manifest") {
+        return Err(format!("{path} line 1 is not a manifest: {first}"));
+    }
+
+    let mut cells: BTreeMap<String, u64> = BTreeMap::new();
+    let mut events = 0u64;
+    for (lineno, line) in lines {
+        let at = |msg: String| format!("{path} line {}: {msg}", lineno + 1);
+        let value = json::parse(line).map_err(|err| at(err.to_string()))?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("no string `type` field".into()))?;
+        if kind != "defense_cell" {
+            continue; // metrics/... trailers only need to parse
+        }
+        events += 1;
+        let field = |name: &str| {
+            value
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| at(format!("defense_cell without numeric `{name}`")))
+        };
+        let ratio = |name: &str| {
+            let v = value
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| at(format!("defense_cell without numeric `{name}`")))?;
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(at(format!("`{name}` = {v} is not a probability in [0, 1]")));
+            }
+            Ok(v)
+        };
+        let mut parts = Vec::new();
+        for label in ["attack", "defense", "ranker", "transport"] {
+            let v = value
+                .get(label)
+                .and_then(Json::as_str)
+                .ok_or_else(|| at(format!("defense_cell without `{label}` label")))?;
+            parts.push(v.to_string());
+        }
+        let defense = parts[1].clone();
+        let cell_key = parts.join("|");
+        let count = cells.entry(cell_key.clone()).or_insert(0);
+        *count += 1;
+        if *count > 1 {
+            return Err(at(format!("cell `{cell_key}` summarized twice")));
+        }
+        let offered = field("offered")?;
+        let admitted = field("admitted")?;
+        let flagged = field("flagged")?;
+        let rate_limited = field("rate_limited")?;
+        let throttled = field("throttled")?;
+        let rejected = flagged + rate_limited + throttled;
+        if admitted + rejected != offered {
+            return Err(at(format!(
+                "cell `{cell_key}` verdict counts do not balance the ledger: \
+                 admitted {admitted} + flagged {flagged} + rate_limited {rate_limited} \
+                 + throttled {throttled} != offered {offered}"
+            )));
+        }
+        if defense == "none" && rejected != 0 {
+            return Err(at(format!(
+                "undefended cell `{cell_key}` rejected {rejected} trajectorie(s)"
+            )));
+        }
+        ratio("precision")?;
+        ratio("recall")?;
+        ratio("organic_fpr")?;
+    }
+    if cells.is_empty() {
+        return Err(format!("{path} has no defense_cell summaries"));
+    }
+    Ok((
+        cells.len(),
+        format!("defense log OK — {events} cell summarie(s)"),
+    ))
+}
+
 fn main() -> ExitCode {
-    let usage = "usage: validate_jsonl [<run.jsonl>] [--zoo] [--expect-steps N] \
+    let usage = "usage: validate_jsonl [<run.jsonl>] [--zoo] [--defense] [--expect-steps N] \
                  [--expect-cells N] [--trace FILE] [--access-log FILE]";
     let mut args = std::env::args().skip(1);
     let Some(first) = args.next() else {
@@ -392,6 +534,7 @@ fn main() -> ExitCode {
     let mut trace_path: Option<String> = None;
     let mut access_path: Option<String> = None;
     let mut zoo = false;
+    let mut defense = false;
     let path = if first == "--trace" || first == "--access-log" {
         match args.next() {
             Some(p) if first == "--trace" => trace_path = Some(p),
@@ -405,6 +548,7 @@ fn main() -> ExitCode {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--zoo" => zoo = true,
+            "--defense" => defense = true,
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(p),
                 None => return fail(usage.into()),
@@ -443,6 +587,31 @@ fn main() -> ExitCode {
         println!("validate_jsonl: OK — {}", summary.join(", "));
         return ExitCode::SUCCESS;
     };
+
+    if defense {
+        if zoo || expect_steps.is_some() {
+            return fail(
+                "--defense validates cell summaries only; not valid with --zoo or --expect-steps"
+                    .into(),
+            );
+        }
+        let (cells, summary) = match check_defense_log(&path) {
+            Ok(result) => result,
+            Err(err) => return fail(err),
+        };
+        if let Some(want) = expect_cells {
+            if cells != want {
+                return fail(format!("{cells} defense cell(s) logged, expected {want}"));
+            }
+        }
+        let extra: String = [trace_summary, access_summary]
+            .into_iter()
+            .flatten()
+            .map(|s| format!(", {s}"))
+            .collect();
+        println!("validate_jsonl: OK — {summary}{extra}");
+        return ExitCode::SUCCESS;
+    }
 
     if zoo {
         if expect_steps.is_some() {

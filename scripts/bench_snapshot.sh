@@ -9,7 +9,7 @@
 #
 #   scripts/bench_snapshot.sh [OUT.json]
 #
-# OUT defaults to BENCH_PR9.json at the repo root. All workload knobs
+# OUT defaults to BENCH_PR10.json at the repo root. All workload knobs
 # are env-overridable so CI can run a tiny variant into a temp dir:
 #
 #   BENCH_SCALE=0.02 BENCH_STEPS=1 BENCH_EPISODES=4 BENCH_EVAL_USERS=32 \
@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 scale="${BENCH_SCALE:-0.05}"
 steps="${BENCH_STEPS:-3}"
 episodes="${BENCH_EPISODES:-8}"
@@ -96,6 +96,15 @@ fi
 if [ "$out" = "BENCH_PR9.json" ] && [ -f BENCH_PR7.json ]; then
     echo "==> perf_diff vs committed BENCH_PR7.json (2x allowance)"
     ./target/release/perf_diff BENCH_PR7.json "$out" --threshold 1.0
+fi
+
+# PR10 adds the defense subsystem. The snapshot workload serves
+# *undefended* (no --defense flag), so the admission judge must cost
+# nothing when absent: every attack-loop and wire-path metric stays
+# inside the general 2x allowance vs the PR9 baseline.
+if [ "$out" = "BENCH_PR10.json" ] && [ -f BENCH_PR9.json ]; then
+    echo "==> perf_diff vs committed BENCH_PR9.json (2x allowance)"
+    ./target/release/perf_diff BENCH_PR9.json "$out" --threshold 1.0
 fi
 
 echo "bench snapshot recorded: $out"

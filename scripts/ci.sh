@@ -186,12 +186,56 @@ cargo run --release -p bench --bin exp_zoo -- \
 cargo run --release -p telemetry --bin validate_jsonl -- \
     "$zoo_dir/zoo.jsonl" --zoo --expect-cells 16
 
+echo "==> defense smoke (attack x defense matrix, both transports + CSV lift gate)"
+# exp_defense runs the Popular family against all five defense kinds
+# (undefended `none` first as the lift baseline), each cell in-process
+# AND over the wire, asserting bit-identical histories/poison/RecNum
+# and verdict ledgers between the transports. The committed smoke
+# config (Steam 0.1 x CoVisitation, N=16 T=20) is the acceptance
+# setting from DESIGN.md §5j: the undefended lift is large enough
+# (RecNum 29) that every layered kind must show positive lift
+# degradation at <= 5% organic FPR — the awk gate below enforces
+# exactly that from the CSV. The telemetry log must validate under the
+# defense schema (one defense_cell per cell x transport, balanced
+# verdict ledgers, finite rates, none-cells reject nothing).
+def_dir="$smoke_dir/defense"
+mkdir -p "$def_dir"
+DEF_ATTACKS=popular DEF_BUDGETS=16x20 DEF_TRANSPORT=both DEF_SHARDS=2 \
+cargo run --release -p bench --bin exp_defense -- \
+    --scale 0.1 --attackers 16 --trajectory 20 --eval-users 96 \
+    --rankers covisitation --datasets steam --threads 2 \
+    --out "$def_dir" --telemetry "$def_dir/defense.jsonl" >/dev/null
+# 5 defense kinds x 2 transport legs.
+cargo run --release -p telemetry --bin validate_jsonl -- \
+    "$def_dir/defense.jsonl" --defense --expect-cells 10
+awk -F, '
+    NR == 1 { next }
+    $6 != "local" { next }
+    $3 == "none" {
+        if ($15 + 0 == 0) { print "defense smoke: no undefended lift to degrade"; bad = 1 }
+        next
+    }
+    {
+        kinds++
+        if ($17 + 0 <= 0) { print "defense smoke: " $3 " shows no lift degradation"; bad = 1 }
+        if ($14 + 0 > 0.05) { print "defense smoke: " $3 " organic FPR " $14 " > 0.05"; bad = 1 }
+    }
+    END {
+        if (kinds != 4) { print "defense smoke: expected 4 layered kinds, saw " kinds; bad = 1 }
+        exit bad
+    }
+' "$def_dir/defense.csv"
+
 echo "==> attack zoo conformance suite (release)"
 # Every registered family through the pinned checks: thread
 # invariance, wire transparency at shards 1 and 4, interrupt+resume
 # bit-identity, and the budget/capability property tests — re-proven
 # under release codegen, which is what the experiment grids run.
-cargo test -q --release --test attack_conformance --test attack_budget
+# defense_conformance re-proves the same gate with a stateful
+# admission judge in the path (every family x defense kind), plus
+# kill+resume with the defense state sealed into the checkpoint.
+cargo test -q --release --test attack_conformance --test attack_budget \
+    --test defense_conformance
 
 echo "==> perf gate (tiny bench snapshot + perf_diff both ways)"
 # A fresh snapshot must pass against itself, and the committed +20%
@@ -231,6 +275,16 @@ echo "==> committed-snapshot gate (PR9 metrics plane vs PR7 baseline)"
 if [ -f BENCH_PR7.json ] && [ -f BENCH_PR9.json ]; then
     cargo run --release -p telemetry --bin perf_diff -- \
         BENCH_PR7.json BENCH_PR9.json --threshold 1.0
+fi
+
+echo "==> committed-snapshot gate (PR10 defense subsystem vs PR9 baseline)"
+# The snapshot workload serves undefended, so the defense subsystem
+# must be free when absent: the committed BENCH_PR10.json (same
+# workload as BENCH_PR9.json) holds every metric inside the general
+# 2x allowance.
+if [ -f BENCH_PR9.json ] && [ -f BENCH_PR10.json ]; then
+    cargo run --release -p telemetry --bin perf_diff -- \
+        BENCH_PR9.json BENCH_PR10.json --threshold 1.0
 fi
 
 echo "CI green."

@@ -1,0 +1,405 @@
+//! The defense conformance suite (DESIGN.md §5j): every attack family
+//! in [`baselines::AttackFamily::ALL`] runs against every layered
+//! [`DefenseKind`], and the defense must be **deterministically
+//! invisible to the infrastructure** — the same checks the undefended
+//! zoo pins in `tests/attack_conformance.rs`, now with a stateful
+//! judge in the admission path:
+//!
+//! * **thread invariance** — a defended cell run with 1 scoring thread
+//!   is bit-identical (history, poison, final RecNum, usage, *and the
+//!   verdict ledger*) to the same cell with 8: judging happens
+//!   sequentially in slot order before any dispatch, so worker count
+//!   cannot reorder verdicts;
+//! * **wire transparency** — a cell attacked through
+//!   [`recsys::RemoteSystem`] against a served [`DefenseStack`]
+//!   (judged inside the `POST /feedback` admission section) matches
+//!   the in-process [`DefendedSystem`] run at 1 and 4 shards,
+//!   including the ledger;
+//! * **interrupt + resume** — a defended cell checkpointed every step
+//!   and cut off mid-run resumes on a fresh same-config system
+//!   bit-identically: the sealed checkpoint carries the defense state
+//!   (adaptive ladder level, reputation, CUSUM, verdict counts) next
+//!   to the attack state and the observation ordinal;
+//! * resuming a **defended checkpoint into an undefended system** is a
+//!   typed config error, not a silent drop of the defense state.
+
+use baselines::{AppGradConfig, AttackFamily, ConsLopConfig, InfluenceConfig, ZooTuning};
+use poisonrec::{
+    run_attack, ActionSpaceKind, PoisonRecConfig, PolicyConfig, PpoConfig, ZooConfig, ZooRun,
+};
+use recsys::attack::AttackBudget;
+use recsys::data::Dataset;
+use recsys::defense::{DefendedSystem, DefenseKind, DefenseStack, VerdictCounts};
+use recsys::rankers::ItemPop;
+use recsys::remote::RemoteSystem;
+use recsys::system::{BlackBoxSystem, ObservableSystem, SystemConfig};
+use serve::{RecApp, Server, ServerConfig};
+
+/// The layered kinds (everything except `None` — the undefended case
+/// is `attack_conformance.rs`' territory).
+const DEFENDED: [DefenseKind; 4] = [
+    DefenseKind::Lof,
+    DefenseKind::Reputation,
+    DefenseKind::Adaptive,
+    DefenseKind::Full,
+];
+
+const FPR: f64 = 0.05;
+
+fn tiny_log() -> Dataset {
+    let histories = (0..40u32)
+        .map(|u| (0..6).map(|t| (u * 3 + t * 7) % 60).collect())
+        .collect();
+    Dataset::from_histories("tiny", histories, 60, 8)
+}
+
+fn tiny_system() -> BlackBoxSystem {
+    BlackBoxSystem::build(
+        tiny_log(),
+        Box::new(ItemPop::new()),
+        SystemConfig {
+            eval_users: 24,
+            reserve_attackers: 8,
+            ..SystemConfig::default()
+        },
+    )
+}
+
+/// An in-process hardened victim: the tiny system behind a stack
+/// calibrated on its own organic log.
+fn defended_system(kind: DefenseKind) -> DefendedSystem {
+    let system = tiny_system();
+    let stack = DefenseStack::build(kind, system.base(), FPR).expect("a layered kind");
+    DefendedSystem::new(system, stack)
+}
+
+fn tuning() -> ZooTuning {
+    ZooTuning {
+        seed: 11,
+        poisonrec: PoisonRecConfig {
+            policy: PolicyConfig {
+                dim: 8,
+                init_scale: 0.1,
+                ..PolicyConfig::default()
+            },
+            ppo: PpoConfig {
+                lr: 0.01,
+                samples_per_step: 4,
+                batch: 4,
+                epochs: 2,
+                ..PpoConfig::default()
+            },
+            action_space: ActionSpaceKind::BcbtPopular,
+            seed: 5,
+            threads: 1,
+        },
+        poisonrec_steps: 2,
+        appgrad: AppGradConfig {
+            iterations: 2,
+            ..AppGradConfig::default()
+        },
+        conslop: ConsLopConfig::default(),
+        influence: InfluenceConfig {
+            rounds: 2,
+            dim: 8,
+            epochs: 2,
+            filler_pool: 8,
+        },
+    }
+}
+
+fn budget(family: AttackFamily, tuning: &ZooTuning) -> AttackBudget {
+    AttackBudget {
+        fake_users: 4,
+        clicks_per_user: 6,
+        observations: family.planned_observations(tuning) + 1,
+    }
+}
+
+fn run_cell(
+    family: AttackFamily,
+    system: &dyn ObservableSystem,
+    tuning: &ZooTuning,
+    cfg: &ZooConfig,
+) -> ZooRun {
+    let log = tiny_log();
+    let mut attack = family
+        .build(tuning, Some(&log))
+        .unwrap_or_else(|err| panic!("{family} must build with a log: {err}"));
+    run_attack(attack.as_mut(), system, cfg, &mut |_| {})
+        .unwrap_or_else(|err| panic!("{family} must run to completion: {err}"))
+}
+
+fn assert_identical(family: AttackFamily, kind: DefenseKind, a: &ZooRun, b: &ZooRun, what: &str) {
+    let tag = format!("{family} × {}", kind.label());
+    assert_eq!(a.history, b.history, "{tag}: {what} history diverged");
+    assert_eq!(a.poison, b.poison, "{tag}: {what} poison diverged");
+    assert_eq!(
+        a.final_rec_num, b.final_rec_num,
+        "{tag}: {what} final RecNum diverged"
+    );
+    assert_eq!(a.usage, b.usage, "{tag}: {what} budget usage diverged");
+}
+
+/// Worker-thread count must be invisible even with a stateful judge in
+/// the path: verdicts are assigned in slot order before dispatch.
+#[test]
+fn every_family_is_thread_invariant_under_every_defense() {
+    let tuning = tuning();
+    for kind in DEFENDED {
+        for family in AttackFamily::ALL {
+            let base = ZooConfig::new(budget(family, &tuning));
+            let one_sys = defended_system(kind);
+            let one = run_cell(family, &one_sys, &tuning, &base);
+            let eight_sys = defended_system(kind);
+            let eight = run_cell(
+                family,
+                &eight_sys,
+                &tuning,
+                &ZooConfig { threads: 8, ..base },
+            );
+            assert_identical(family, kind, &one, &eight, "threads 1 vs 8");
+            assert_eq!(
+                one_sys.counts(),
+                eight_sys.counts(),
+                "{family} × {}: verdict ledger diverged across thread counts",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// The wire must be invisible: a defended serve judges at `/feedback`
+/// admission in arrival order, the local [`DefendedSystem`] in slot
+/// order pre-dispatch — the same order, so histories AND the verdict
+/// ledger must match at every shard count.
+#[test]
+fn every_family_is_wire_transparent_under_every_defense() {
+    let tuning = tuning();
+    for shards in [1usize, 4] {
+        for kind in DEFENDED {
+            for family in AttackFamily::ALL {
+                let cfg = ZooConfig::new(budget(family, &tuning));
+                let local_sys = defended_system(kind);
+                let local = run_cell(family, &local_sys, &tuning, &cfg);
+
+                let served = tiny_system();
+                let stack = DefenseStack::build(kind, served.base(), FPR).expect("layered kind");
+                let server_cfg = ServerConfig::builder()
+                    .threads(2)
+                    .shards(shards)
+                    .build()
+                    .expect("valid server config");
+                let server =
+                    Server::start(RecApp::new(served, Some(stack)), server_cfg).expect("bind");
+                let remote = RemoteSystem::connect(server.local_addr().to_string())
+                    .expect("connect to served system");
+                let wire = run_cell(family, &remote, &tuning, &cfg);
+                let wire_counts = server.app().defense_counts();
+                drop(remote);
+                let stats = server.shutdown();
+                assert_eq!(stats.dropped(), 0, "{family}: shutdown dropped requests");
+
+                assert_identical(
+                    family,
+                    kind,
+                    &local,
+                    &wire,
+                    &format!("wire at {shards} shard(s)"),
+                );
+                assert_eq!(
+                    local_sys.counts(),
+                    wire_counts,
+                    "{family} × {}: verdict ledger diverged over the wire at {shards} shard(s)",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+/// Kill-and-resume with a stateful defense: the sealed checkpoint
+/// carries the stack's state, so the resumed run's verdicts (and hence
+/// everything downstream) match the uninterrupted reference — on the
+/// `Full` stack, whose ladder/reputation/CUSUM state is maximal.
+#[test]
+fn every_family_resumes_bit_identically_with_defense_state() {
+    let tuning = tuning();
+    let kind = DefenseKind::Full;
+    let dir = std::env::temp_dir().join(format!("defense-conformance-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("checkpoint dir");
+
+    for family in AttackFamily::ALL {
+        let cell_budget = budget(family, &tuning);
+        let path = dir.join(format!("{}.ckpt", family.name()));
+        let _ = std::fs::remove_file(&path);
+
+        // Leg A: checkpoint every step, cut at the midpoint.
+        let log = tiny_log();
+        let mut attack = family.build(&tuning, Some(&log)).expect("buildable");
+        let cut = (attack.planned_steps() / 2).max(1);
+        let interrupted_cfg = ZooConfig {
+            steps: Some(cut),
+            checkpoint_every: 1,
+            checkpoint_path: Some(path.clone()),
+            evaluate_final: false,
+            ..ZooConfig::new(cell_budget)
+        };
+        let interrupted_sys = defended_system(kind);
+        let _ = run_attack(
+            attack.as_mut(),
+            &interrupted_sys,
+            &interrupted_cfg,
+            &mut |_| {},
+        );
+        assert!(path.exists(), "{family}: no checkpoint was written");
+
+        // Leg B: fresh attack, fresh defended system, resume. The
+        // fresh stack starts pristine; restore must overwrite it with
+        // the checkpointed ladder/reputation/CUSUM state.
+        let resumed_cfg = ZooConfig {
+            checkpoint_every: 1,
+            checkpoint_path: Some(path.clone()),
+            resume: true,
+            ..ZooConfig::new(cell_budget)
+        };
+        let mut fresh = family.build(&tuning, Some(&log)).expect("buildable");
+        let resumed_sys = defended_system(kind);
+        let resumed = run_attack(fresh.as_mut(), &resumed_sys, &resumed_cfg, &mut |_| {})
+            .unwrap_or_else(|err| panic!("{family}: resume failed: {err}"));
+
+        // Leg C: the uninterrupted reference.
+        let reference_sys = defended_system(kind);
+        let reference = run_cell(
+            family,
+            &reference_sys,
+            &tuning,
+            &ZooConfig::new(cell_budget),
+        );
+        assert_identical(family, kind, &reference, &resumed, "kill+resume");
+        // The ledger proves the defense state rode the checkpoint:
+        // leg A's prefix verdicts + leg B's suffix verdicts must land
+        // exactly where the uninterrupted run's did.
+        assert_eq!(
+            reference_sys.counts(),
+            resumed_sys.counts(),
+            "{family}: resumed verdict ledger diverged — defense state did not resume"
+        );
+        assert_eq!(
+            reference_sys.level(),
+            resumed_sys.level(),
+            "{family}: adaptive ladder level did not resume"
+        );
+
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// A checkpoint taken against a defended system must refuse to resume
+/// into an undefended one: silently dropping the judge's state would
+/// fork the run.
+#[test]
+fn a_defended_checkpoint_refuses_an_undefended_system() {
+    let tuning = tuning();
+    let family = AttackFamily::PoisonRec;
+    let path = std::env::temp_dir().join(format!(
+        "defense-conformance-undefended-{}.ckpt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let cell_budget = budget(family, &tuning);
+    let interrupted = ZooConfig {
+        steps: Some(1),
+        checkpoint_every: 1,
+        checkpoint_path: Some(path.clone()),
+        evaluate_final: false,
+        ..ZooConfig::new(cell_budget)
+    };
+    let log = tiny_log();
+    let mut attack = family.build(&tuning, Some(&log)).expect("buildable");
+    let _ = run_attack(
+        attack.as_mut(),
+        &defended_system(DefenseKind::Full),
+        &interrupted,
+        &mut |_| {},
+    );
+    assert!(path.exists());
+
+    let resume_cfg = ZooConfig {
+        checkpoint_path: Some(path.clone()),
+        resume: true,
+        ..ZooConfig::new(cell_budget)
+    };
+    let mut fresh = family.build(&tuning, Some(&log)).expect("buildable");
+    let err = run_attack(fresh.as_mut(), &tiny_system(), &resume_cfg, &mut |_| {})
+        .expect_err("an undefended system must refuse a defended checkpoint");
+    assert!(
+        matches!(err, recsys::attack::AttackError::Config(_)),
+        "expected a typed config error, got {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The stack's byte-state roundtrip is the checkpoint contract:
+/// restore onto a fresh stack, judge the same stream, get the same
+/// verdicts.
+#[test]
+fn defense_state_roundtrips_through_bytes() {
+    let log = tiny_log();
+    for kind in DEFENDED {
+        let mut warm = DefenseStack::build(kind, &log, FPR).expect("layered kind");
+        // Warm it up with a hostile stream (target-hammering bursts).
+        for burst in 0..10u32 {
+            let sequence: Vec<u32> = (0..6).map(|i| 55 + (burst + i) % 5).collect();
+            warm.judge(&log, &sequence);
+        }
+        let bytes = warm.state_bytes();
+        let mut restored = DefenseStack::build(kind, &log, FPR).expect("layered kind");
+        restored.restore_state(&bytes).expect("roundtrip");
+        assert_eq!(restored.counts(), warm.counts(), "{}", kind.label());
+        assert_eq!(restored.level(), warm.level(), "{}", kind.label());
+        // Judge one more identical stream on both: verdicts must agree.
+        for burst in 0..5u32 {
+            let sequence: Vec<u32> = (0..6).map(|i| 50 + (burst + i) % 7).collect();
+            assert_eq!(
+                warm.judge(&log, &sequence),
+                restored.judge(&log, &sequence),
+                "{}: post-restore verdicts diverged",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Legacy single-detector filters ride the same stack type: the
+/// `From<OnlineFilter>` conversion must preserve the admit/flag
+/// decision exactly (`serve --defense popularity|repetition`).
+#[test]
+fn verdict_counts_sum_to_offered_for_every_kind() {
+    let log = tiny_log();
+    for kind in DEFENDED {
+        let mut stack = DefenseStack::build(kind, &log, FPR).expect("layered kind");
+        let mut offered = 0u64;
+        for user in 0..log.num_users() {
+            stack.judge(&log, log.sequence(user));
+            offered += 1;
+        }
+        for burst in 0..8u32 {
+            let sequence: Vec<u32> = (0..6).map(|i| 55 + (burst + i) % 5).collect();
+            stack.judge(&log, &sequence);
+            offered += 1;
+        }
+        let counts = stack.counts();
+        assert_eq!(counts.offered(), offered, "{}", kind.label());
+        assert_eq!(
+            counts.admitted + counts.rejected(),
+            offered,
+            "{}: ledger does not balance",
+            kind.label()
+        );
+        assert_eq!(counts, stack.counts(), "counts() must be pure");
+        let _: VerdictCounts = counts;
+    }
+}
